@@ -1,0 +1,45 @@
+# Convenience targets for the DSN'05 coordinated-checkpointing reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures figures-paper report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper figure plus ablations and micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper figure (quick scale) into results/.
+figures:
+	$(GO) run ./cmd/ccfigures -extras -out results/
+
+# Paper-scale windows (5 reps × 1000h warmup × 4000h measured) — slow.
+figures-paper:
+	$(GO) run ./cmd/ccfigures -paper -extras -out results-paper/
+
+# Self-verifying claim report.
+report:
+	$(GO) run ./cmd/ccreport -o REPORT.md
+
+# Run every example once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/capacity
+	$(GO) run ./examples/interval
+	$(GO) run ./examples/correlated
+	$(GO) run ./examples/protocol
+	$(GO) run ./examples/validate
+	$(GO) run ./examples/jobplanner
+
+clean:
+	rm -rf results results-paper

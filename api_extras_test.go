@@ -1,0 +1,176 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCompareConfigsPublicAPI(t *testing.T) {
+	a := DefaultConfig()
+	b := a
+	b.NoBufferedRecovery = true
+	c, err := CompareConfigs(a, b, Options{Replications: 6, Warmup: 100, Measure: 1000, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FractionDiff.Mean >= 0 {
+		t.Fatalf("removing buffered recovery should hurt: %v", c.FractionDiff)
+	}
+	if !c.Significant() {
+		t.Fatalf("buffered-recovery effect unresolved with CRN pairing: %v", c.FractionDiff)
+	}
+}
+
+func TestOptimalProcessorsPublicAPI(t *testing.T) {
+	res, err := OptimalProcessors(DefaultConfig(), []int{32768, 131072, 1 << 21},
+		Options{Replications: 2, Warmup: 100, Measure: 800, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.X != 131072 {
+		t.Fatalf("optimum = %v, want 131072", res.Best.X)
+	}
+}
+
+func TestOptimalIntervalPublicAPI(t *testing.T) {
+	res, err := OptimalInterval(DefaultConfig(), []float64{Minutes(15), Minutes(240)},
+		Options{Replications: 2, Warmup: 50, Measure: 500, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.X != Minutes(15) {
+		t.Fatalf("optimum interval = %v, want 15 min", res.Best.X)
+	}
+}
+
+func TestOptimalTimeoutPublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Coordination = CoordMaxOfN
+	cfg.MTTFPerNode = Years(3)
+	res, err := OptimalTimeout(cfg, []float64{Seconds(20), 0},
+		Options{Replications: 2, Warmup: 50, Measure: 500, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.X != 0 {
+		t.Fatalf("optimum timeout = %v, want none", res.Best.X)
+	}
+}
+
+func TestBreakdownExposed(t *testing.T) {
+	m, err := Trajectory(DefaultConfig(), 35, 100, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b TimeBreakdown = m.Breakdown
+	if math.Abs(b.Sum()-1) > 1e-9 {
+		t.Fatalf("breakdown sums to %v", b.Sum())
+	}
+	if b.Recovery <= 0 {
+		t.Fatal("no recovery time at MTTF 1yr")
+	}
+	if m.RepeatedWorkFraction <= 0 {
+		t.Fatal("no repeated work at MTTF 1yr")
+	}
+}
+
+func TestPermanentFailureExtensionExposed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProbPermanentFailure = 0.3
+	cfg.ReconfigurationTime = Minutes(20)
+	m, err := Trajectory(cfg, 36, 100, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters.PermanentFailures == 0 {
+		t.Fatal("permanent failures not surfaced through the public API")
+	}
+}
+
+func TestTrajectoryCyclePublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeFraction = 1
+	cfg.NoIOFailures = true
+	san, err := Trajectory(cfg, 40, 200, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := TrajectoryCycle(cfg, 41, 200, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(san.UsefulWorkFraction-cyc.UsefulWorkFraction) > 0.05 {
+		t.Fatalf("engines disagree: %v vs %v", san.UsefulWorkFraction, cyc.UsefulWorkFraction)
+	}
+	if _, err := TrajectoryCycle(DefaultConfig(), 1, 10, 10); err == nil {
+		t.Fatal("out-of-envelope config accepted by cycle engine")
+	}
+}
+
+func TestConfigIOPublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Processors = 32768
+	var buf strings.Builder
+	if err := SaveConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Processors != 32768 {
+		t.Fatalf("round trip lost processors: %d", back.Processors)
+	}
+}
+
+func TestCoordinationEfficiencyForPublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Coordination = CoordMaxOfN
+	mtbf := cfg.MTTFPerNode / float64(cfg.Nodes())
+	eff, p, err := CoordinationEfficiencyFor(cfg, mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0 || eff >= 1 || p != 0 {
+		t.Fatalf("eff=%v p=%v", eff, p)
+	}
+	cfg.Timeout = Seconds(20)
+	_, p, err = CoordinationEfficiencyFor(cfg, mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.99 {
+		t.Fatalf("suicidal timeout abort prob = %v", p)
+	}
+}
+
+func TestJobCompletionTimePublicAPI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ComputeFraction = 1
+	cfg.NoIOFailures = true
+	comp, err := JobCompletionTime(cfg, 100, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fraction ≈ 0.65 ⇒ stretch ≈ 1.5.
+	if st := comp.Stretch(); st < 1.2 || st > 2.2 {
+		t.Fatalf("stretch = %v", st)
+	}
+	if _, err := JobCompletionTime(DefaultConfig(), 100, 2, 1); err == nil {
+		t.Fatal("out-of-envelope config accepted")
+	}
+}
+
+func TestSensitivityPublicAPI(t *testing.T) {
+	a, err := Sensitivity(DefaultConfig(), 1.5, Options{Replications: 2, Warmup: 50, Measure: 400, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MostSensitive() == "" || len(a.Effects) == 0 {
+		t.Fatalf("empty analysis: %+v", a)
+	}
+	if _, err := Sensitivity(DefaultConfig(), 1.0, Options{}); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+}

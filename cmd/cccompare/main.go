@@ -1,0 +1,80 @@
+// Command cccompare estimates two JSON-configured systems with common
+// random numbers and reports the paired difference of their useful-work
+// metrics — the statistically sound way to answer "is B better than A?"
+// for a single design or parameter change.
+//
+//	cccompare -a base.json -b candidate.json
+//	cccompare -a base.json -b candidate.json -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/configio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cccompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cccompare", flag.ContinueOnError)
+	var (
+		aPath   = fs.String("a", "", "baseline JSON configuration (required)")
+		bPath   = fs.String("b", "", "candidate JSON configuration (required)")
+		reps    = fs.Int("reps", 5, "paired replications")
+		warmup  = fs.Float64("warmup", 300, "transient hours to discard")
+		measure = fs.Float64("measure", 1500, "measured hours per replication")
+		seed    = fs.Uint64("seed", 1, "root random seed (shared by both systems)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *aPath == "" || *bPath == "" {
+		return fmt.Errorf("both -a and -b are required")
+	}
+	a, err := loadConfig(*aPath)
+	if err != nil {
+		return fmt.Errorf("config A: %w", err)
+	}
+	b, err := loadConfig(*bPath)
+	if err != nil {
+		return fmt.Errorf("config B: %w", err)
+	}
+	comp, err := repro.CompareConfigs(a, b, repro.Options{
+		Replications: *reps, Warmup: *warmup, Measure: *measure, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "A (%s)  useful fraction %v\n", *aPath, comp.A.UsefulWorkFraction)
+	fmt.Fprintf(stdout, "B (%s)  useful fraction %v\n", *bPath, comp.B.UsefulWorkFraction)
+	fmt.Fprintf(stdout, "paired difference (B−A)  fraction %v | total %v\n",
+		comp.FractionDiff, comp.TotalDiff)
+	switch {
+	case !comp.Significant():
+		fmt.Fprintln(stdout, "verdict: no significant difference at 95% confidence")
+	case comp.FractionDiff.Mean > 0:
+		fmt.Fprintln(stdout, "verdict: B is significantly better")
+	default:
+		fmt.Fprintln(stdout, "verdict: B is significantly worse")
+	}
+	return nil
+}
+
+// loadConfig reads one JSON configuration file.
+func loadConfig(path string) (repro.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return repro.Config{}, err
+	}
+	defer f.Close()
+	return configio.Load(f)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCfg(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsImprovement(t *testing.T) {
+	a := writeCfg(t, "a.json", `{"processors": 16384, "mttfYears": 1}`)
+	b := writeCfg(t, "b.json", `{"processors": 16384, "mttfYears": 4}`)
+	var out bytes.Buffer
+	err := run([]string{"-a", a, "-b", b, "-reps", "3", "-warmup", "50", "-measure", "500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "B is significantly better") {
+		t.Fatalf("4x MTTF not detected as better:\n%s", out.String())
+	}
+}
+
+func TestCompareIdenticalConfigs(t *testing.T) {
+	a := writeCfg(t, "a.json", `{"processors": 16384}`)
+	b := writeCfg(t, "b.json", `{"processors": 16384}`)
+	var out bytes.Buffer
+	err := run([]string{"-a", a, "-b", b, "-reps", "2", "-warmup", "20", "-measure", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no significant difference") {
+		t.Fatalf("identical configs not recognised:\n%s", out.String())
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	a := writeCfg(t, "a.json", `{"processors": 16384}`)
+	b := writeCfg(t, "b.json", `{"processors": 16384, "intervalMinutes": 240}`)
+	var out bytes.Buffer
+	err := run([]string{"-a", a, "-b", b, "-reps", "3", "-warmup", "50", "-measure", "500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "B is significantly worse") {
+		t.Fatalf("4h interval not detected as worse:\n%s", out.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-a", "only-one.json"}, &out); err == nil {
+		t.Error("missing -b accepted")
+	}
+	if err := run([]string{"-a", "/missing.json", "-b", "/missing.json"}, &out); err == nil {
+		t.Error("missing files accepted")
+	}
+	bad := writeCfg(t, "bad.json", "{broken")
+	good := writeCfg(t, "good.json", "{}")
+	if err := run([]string{"-a", bad, "-b", good}, &out); err == nil {
+		t.Error("broken config A accepted")
+	}
+	if err := run([]string{"-a", good, "-b", bad}, &out); err == nil {
+		t.Error("broken config B accepted")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFiguresSubsetToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-only", "fig4g", "-reps", "1", "-warmup", "20", "-measure", "120",
+		"-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4g.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"fig4g", "MTTF=1yr", "shape claim"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiguresCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-only", "fig4g", "-reps", "1", "-warmup", "20", "-measure", "120",
+		"-out", dir, "-csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4g.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "figure,series,x,y") {
+		t.Fatalf("CSV header missing:\n%s", data)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 7 { // header + 2 series × 3 nodes
+		t.Fatalf("CSV has %d lines, want 7", len(lines))
+	}
+}
+
+func TestFiguresUnknownID(t *testing.T) {
+	err := run([]string{"-only", "fig42"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("unknown figure accepted: %v", err)
+	}
+}
+
+func TestFiguresBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestFiguresBadOutDir(t *testing.T) {
+	err := run([]string{
+		"-only", "fig4g", "-reps", "1", "-warmup", "10", "-measure", "60",
+		"-out", string([]byte{0}),
+	})
+	if err == nil {
+		t.Fatal("invalid output directory accepted")
+	}
+}
+
+func TestFiguresChart(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-only", "fig4g", "-reps", "1", "-warmup", "20", "-measure", "120",
+		"-out", dir, "-chart",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig4g.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "log scale") || !strings.Contains(out, "MTTF=1yr") {
+		t.Fatalf("chart output missing:\n%s", out)
+	}
+}

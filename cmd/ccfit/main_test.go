@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// buildTrace produces an NDJSON trace from the model.
+func buildTrace(t *testing.T, cfg cluster.Config, horizon float64) string {
+	t.Helper()
+	in, err := model.New(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	in.SetTrace(func(tm float64, activity string, _ map[string]int) {
+		if err := w.Write(trace.Event{Time: tm, Activity: activity}); err != nil {
+			t.Fatal(err)
+		}
+	}, false)
+	in.Advance(horizon)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestFitIndependentTrace(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.MTTFPerNode = cluster.Years(3)
+	nd := buildTrace(t, cfg, 2000)
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(nd), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"failures", "MTBF", "coefficient of variation"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, "Poisson") {
+		t.Fatalf("independent trace not recognised as Poisson-like:\n%s", s)
+	}
+}
+
+func TestFitCorrelatedTrace(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.MTTFPerNode = cluster.Years(3)
+	cfg.ProbCorrelated = 0.3
+	cfg.CorrelatedFactor = 800
+	nd := buildTrace(t, cfg, 2000)
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(nd), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "bursty") {
+		t.Fatalf("correlated trace not flagged bursty:\n%s", s)
+	}
+	if !strings.Contains(s, "rate multiplier") {
+		t.Fatalf("no rate multiplier estimated:\n%s", s)
+	}
+}
+
+func TestFitFromFile(t *testing.T) {
+	cfg := cluster.Default()
+	nd := buildTrace(t, cfg, 300)
+	dir := t.TempDir()
+	path := dir + "/trace.ndjson"
+	if err := writeFile(path, nd); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MTBF") {
+		t.Fatalf("file input produced no report:\n%s", out.String())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if err := run(nil, strings.NewReader("{broken"), &out); err == nil {
+		t.Error("broken NDJSON accepted")
+	}
+	if err := run([]string{"-in", "/missing.ndjson"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-bogus"}, strings.NewReader(""), &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

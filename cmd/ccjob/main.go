@@ -1,0 +1,79 @@
+// Command ccjob forecasts the wall-clock completion time of a job on the
+// modeled machine: given the job's useful-work requirement, it reports the
+// completion-time distribution (mean, quantiles, stretch factor) over
+// independent replications of the cycle engine.
+//
+//	ccjob -work 5000 -procs 65536 -mttf-years 1
+//	ccjob -work 5000 -config machine.json -reps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/configio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccjob:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ccjob", flag.ContinueOnError)
+	var (
+		configPath  = fs.String("config", "", "JSON configuration file")
+		work        = fs.Float64("work", 1000, "useful work the job needs, hours")
+		procs       = fs.Int("procs", 65536, "total compute processors")
+		mttfYears   = fs.Float64("mttf-years", 1, "per-node MTTF in years")
+		intervalMin = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
+		reps        = fs.Int("reps", 10, "independent replications")
+		seed        = fs.Uint64("seed", 1, "root random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := repro.DefaultConfig()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := configio.Load(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		cfg = loaded
+	} else {
+		cfg.Processors = *procs
+		cfg.MTTFPerNode = repro.Years(*mttfYears)
+		cfg.CheckpointInterval = repro.Minutes(*intervalMin)
+	}
+	// The completion engine requires the cycle envelope.
+	cfg.ComputeFraction = 1
+	cfg.NoIOFailures = true
+	if err := repro.Validate(cfg); err != nil {
+		return err
+	}
+
+	comp, err := repro.JobCompletionTime(cfg, *work, *reps, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "job                 %.0f h of useful work on %d processors\n", *work, cfg.Processors)
+	fmt.Fprintf(stdout, "expected completion %v h\n", comp.Mean)
+	fmt.Fprintf(stdout, "stretch factor      %.2fx over a failure-free machine\n", comp.Stretch())
+	fmt.Fprintf(stdout, "quantiles           p10 %.0f | p50 %.0f | p90 %.0f h\n",
+		comp.Quantile(0.1), comp.Quantile(0.5), comp.Quantile(0.9))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJobForecast(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-work", "100", "-procs", "16384", "-reps", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"expected completion", "stretch factor", "p50"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("forecast missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestJobWithConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte(`{"processors": 16384, "mttfYears": 2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-config", path, "-work", "100", "-reps", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "16384 processors") {
+		t.Fatalf("config file not used:\n%s", out.String())
+	}
+}
+
+func TestJobErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-work", "-5"}, &out); err == nil {
+		t.Error("negative work accepted")
+	}
+	if err := run([]string{"-procs", "-1"}, &out); err == nil {
+		t.Error("bad config accepted")
+	}
+	if err := run([]string{"-config", "/missing.json"}, &out); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

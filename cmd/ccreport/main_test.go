@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportSubset(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-only", "fig8", "-reps", "2", "-warmup", "50", "-measure", "300"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Reproduction report", "fig8", "PASS", "claims pass"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReportToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "REPORT.md")
+	var out bytes.Buffer
+	err := run([]string{"-only", "fig8", "-reps", "2", "-warmup", "50", "-measure", "300", "-o", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "| fig8 |") {
+		t.Fatalf("file report missing rows:\n%s", data)
+	}
+}
+
+func TestReportUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestReportBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

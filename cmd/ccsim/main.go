@@ -1,0 +1,154 @@
+// Command ccsim runs the coordinated-checkpointing model for a single
+// configuration and prints the paper's metrics with confidence intervals.
+//
+// Example (the paper's base model at 128K processors):
+//
+//	ccsim -procs 131072 -mttf-years 1 -mttr-min 10 -interval-min 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/configio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccsim", flag.ContinueOnError)
+	var (
+		configPath   = fs.String("config", "", "JSON configuration file (flags given explicitly override it)")
+		procs        = fs.Int("procs", 65536, "total compute processors")
+		procsPerNode = fs.Int("procs-per-node", 8, "processors per node")
+		mttfYears    = fs.Float64("mttf-years", 1, "per-node MTTF in years")
+		mttrMin      = fs.Float64("mttr-min", 10, "system MTTR in minutes")
+		intervalMin  = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
+		mttqSec      = fs.Float64("mttq-sec", 10, "per-node mean time to quiesce in seconds")
+		timeoutSec   = fs.Float64("timeout-sec", 0, "coordination timeout in seconds (0 = none)")
+		coordination = fs.String("coordination", "fixed", "coordination mode: fixed, none, max-of-n")
+		pe           = fs.Float64("pe", 0, "probability of correlated failure (error propagation)")
+		rFactor      = fs.Float64("r", 0, "correlated failure rate factor")
+		alpha        = fs.Float64("alpha", 0, "generic correlated failure coefficient")
+		reps         = fs.Int("reps", 5, "independent replications")
+		warmup       = fs.Float64("warmup", 1000, "transient hours to discard")
+		measure      = fs.Float64("measure", 4000, "measured hours per replication")
+		seed         = fs.Uint64("seed", 1, "root random seed")
+		verbose      = fs.Bool("v", false, "print per-replication metrics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := repro.DefaultConfig()
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := configio.Load(f)
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		cfg = loaded
+	}
+
+	// Apply only the flags the user set explicitly, so a -config file is
+	// not clobbered by flag defaults.
+	var coordErr error
+	apply := map[string]func(){
+		"procs":          func() { cfg.Processors = *procs },
+		"procs-per-node": func() { cfg.ProcsPerNode = *procsPerNode },
+		"mttf-years":     func() { cfg.MTTFPerNode = repro.Years(*mttfYears) },
+		"mttr-min":       func() { cfg.MTTR = repro.Minutes(*mttrMin) },
+		"interval-min":   func() { cfg.CheckpointInterval = repro.Minutes(*intervalMin) },
+		"mttq-sec":       func() { cfg.MTTQ = repro.Seconds(*mttqSec) },
+		"timeout-sec":    func() { cfg.Timeout = repro.Seconds(*timeoutSec) },
+		"pe":             func() { cfg.ProbCorrelated = *pe },
+		"r":              func() { cfg.CorrelatedFactor = *rFactor },
+		"alpha":          func() { cfg.GenericCorrelatedCoefficient = *alpha },
+		"coordination": func() {
+			switch *coordination {
+			case "fixed":
+				cfg.Coordination = repro.CoordFixed
+			case "none":
+				cfg.Coordination = repro.CoordNone
+			case "max-of-n":
+				cfg.Coordination = repro.CoordMaxOfN
+			default:
+				coordErr = fmt.Errorf("unknown coordination mode %q", *coordination)
+			}
+		},
+	}
+	if *configPath == "" {
+		// No file: every config flag applies, as before.
+		for _, f := range apply {
+			f()
+		}
+	} else {
+		fs.Visit(func(f *flag.Flag) {
+			if a, ok := apply[f.Name]; ok {
+				a()
+			}
+		})
+	}
+	if coordErr != nil {
+		return coordErr
+	}
+	if err := repro.Validate(cfg); err != nil {
+		return err
+	}
+
+	res, err := repro.Simulate(cfg, repro.Options{
+		Replications: *reps, Warmup: *warmup, Measure: *measure, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("processors            %d (%d nodes, %d I/O nodes)\n", cfg.Processors, cfg.Nodes(), cfg.IONodes())
+	fmt.Printf("useful work fraction  %v\n", res.UsefulWorkFraction)
+	fmt.Printf("total useful work     %v\n", res.TotalUsefulWork)
+	printBreakdown(res)
+	if *verbose {
+		for i, m := range res.PerReplication {
+			fmt.Printf("  rep %d: %v\n", i, m)
+		}
+	}
+	if eff, err := repro.AnalyticEfficiency(cfg, cfg.CheckpointInterval); err == nil {
+		fmt.Printf("analytic (Daly-style) efficiency, no coordination/correlation: %.4f\n", eff)
+	}
+	return nil
+}
+
+// printBreakdown averages the per-state time shares over the replications
+// and renders them as one line per state.
+func printBreakdown(res repro.Result) {
+	if len(res.PerReplication) == 0 {
+		return
+	}
+	var b repro.TimeBreakdown
+	var repeated float64
+	for _, m := range res.PerReplication {
+		b.Execution += m.Breakdown.Execution
+		b.Quiesce += m.Breakdown.Quiesce
+		b.Dump += m.Breakdown.Dump
+		b.FSWait += m.Breakdown.FSWait
+		b.Recovery += m.Breakdown.Recovery
+		b.Reboot += m.Breakdown.Reboot
+		repeated += m.RepeatedWorkFraction
+	}
+	n := float64(len(res.PerReplication))
+	fmt.Printf("time breakdown        execution %.3f (repeated %.3f) | quiesce %.4f | dump %.4f | fs-wait %.4f | recovery %.3f | reboot %.3f\n",
+		b.Execution/n, repeated/n, b.Quiesce/n, b.Dump/n, b.FSWait/n, b.Recovery/n, b.Reboot/n)
+}

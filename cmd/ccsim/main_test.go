@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsQuick(t *testing.T) {
+	err := run([]string{"-reps", "1", "-warmup", "20", "-measure", "100", "-procs", "8192"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerboseAndModes(t *testing.T) {
+	for _, mode := range []string{"fixed", "none", "max-of-n"} {
+		err := run([]string{
+			"-reps", "1", "-warmup", "10", "-measure", "50",
+			"-procs", "8192", "-coordination", mode, "-v",
+		})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunCorrelatedFlags(t *testing.T) {
+	err := run([]string{
+		"-reps", "1", "-warmup", "10", "-measure", "50", "-procs", "8192",
+		"-pe", "0.1", "-r", "400", "-alpha", "0.001", "-timeout-sec", "90",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	err := run([]string{"-coordination", "psychic"})
+	if err == nil || !strings.Contains(err.Error(), "coordination") {
+		t.Fatalf("bad mode accepted: %v", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-procs", "-5"}); err == nil {
+		t.Fatal("negative processors accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	content := `{"processors": 16384, "mttfYears": 2, "intervalMinutes": 15}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The file sets the base; explicit flags still override it.
+	err := run([]string{"-config", path, "-reps", "1", "-warmup", "10", "-measure", "60", "-mttf-years", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithMissingConfigFile(t *testing.T) {
+	if err := run([]string{"-config", "/does/not/exist.json"}); err == nil {
+		t.Fatal("missing config file accepted")
+	}
+}
+
+func TestRunWithBrokenConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err == nil {
+		t.Fatal("broken config accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command ccsweep sweeps a single model parameter and prints one row per
+// value, for ad-hoc sensitivity studies beyond the fixed paper figures.
+//
+//	ccsweep -param procs -values 8192,16384,32768,65536,131072,262144
+//	ccsweep -param interval-min -values 15,30,60,120,240 -procs 65536
+//	ccsweep -param mttf-years -values 0.5,1,2,4 -procs 131072
+//	ccsweep -param timeout-sec -values 20,60,100,120 -coordination max-of-n
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ccsweep", flag.ContinueOnError)
+	var (
+		param        = fs.String("param", "procs", "parameter to sweep: procs, interval-min, mttf-years, mttr-min, mttq-sec, timeout-sec, pe, alpha")
+		values       = fs.String("values", "", "comma-separated values (required)")
+		procs        = fs.Int("procs", 65536, "total compute processors")
+		mttfYears    = fs.Float64("mttf-years", 1, "per-node MTTF in years")
+		mttrMin      = fs.Float64("mttr-min", 10, "system MTTR in minutes")
+		intervalMin  = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
+		coordination = fs.String("coordination", "fixed", "coordination mode: fixed, none, max-of-n")
+		rFactor      = fs.Float64("r", 400, "correlated failure factor (used when sweeping pe/alpha)")
+		reps         = fs.Int("reps", 3, "independent replications")
+		warmup       = fs.Float64("warmup", 300, "transient hours to discard")
+		measure      = fs.Float64("measure", 1500, "measured hours per replication")
+		seed         = fs.Uint64("seed", 1, "root random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *values == "" {
+		return fmt.Errorf("-values is required")
+	}
+
+	base := repro.DefaultConfig()
+	base.Processors = *procs
+	base.MTTFPerNode = repro.Years(*mttfYears)
+	base.MTTR = repro.Minutes(*mttrMin)
+	base.CheckpointInterval = repro.Minutes(*intervalMin)
+	switch *coordination {
+	case "fixed":
+		base.Coordination = repro.CoordFixed
+	case "none":
+		base.Coordination = repro.CoordNone
+	case "max-of-n":
+		base.Coordination = repro.CoordMaxOfN
+	default:
+		return fmt.Errorf("unknown coordination mode %q", *coordination)
+	}
+
+	apply, err := setter(*param, *rFactor)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-16s %-24s %-24s\n", *param, "useful work fraction", "total useful work")
+	for i, raw := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return fmt.Errorf("value %q: %w", raw, err)
+		}
+		cfg := base
+		apply(&cfg, v)
+		if err := repro.Validate(cfg); err != nil {
+			return fmt.Errorf("value %v: %w", v, err)
+		}
+		res, err := repro.Simulate(cfg, repro.Options{
+			Replications: *reps, Warmup: *warmup, Measure: *measure,
+			Seed: *seed + uint64(i)*1000003,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16g %-24v %-24v\n", v, res.UsefulWorkFraction, res.TotalUsefulWork)
+	}
+	return nil
+}
+
+// setter maps a parameter name to a config mutator.
+func setter(param string, r float64) (func(*repro.Config, float64), error) {
+	switch param {
+	case "procs":
+		return func(c *repro.Config, v float64) { c.Processors = int(v) }, nil
+	case "interval-min":
+		return func(c *repro.Config, v float64) { c.CheckpointInterval = repro.Minutes(v) }, nil
+	case "mttf-years":
+		return func(c *repro.Config, v float64) { c.MTTFPerNode = repro.Years(v) }, nil
+	case "mttr-min":
+		return func(c *repro.Config, v float64) { c.MTTR = repro.Minutes(v) }, nil
+	case "mttq-sec":
+		return func(c *repro.Config, v float64) { c.MTTQ = repro.Seconds(v) }, nil
+	case "timeout-sec":
+		return func(c *repro.Config, v float64) { c.Timeout = repro.Seconds(v) }, nil
+	case "pe":
+		return func(c *repro.Config, v float64) {
+			c.ProbCorrelated = v
+			c.CorrelatedFactor = r
+		}, nil
+	case "alpha":
+		return func(c *repro.Config, v float64) {
+			c.GenericCorrelatedCoefficient = v
+			c.CorrelatedFactor = r
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown parameter %q", param)
+	}
+}

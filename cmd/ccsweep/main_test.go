@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickArgs(extra ...string) []string {
+	base := []string{"-reps", "1", "-warmup", "10", "-measure", "60", "-procs", "8192"}
+	return append(base, extra...)
+}
+
+func TestSweepProcs(t *testing.T) {
+	if err := run(quickArgs("-param", "procs", "-values", "8192,16384")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepEveryParameter(t *testing.T) {
+	cases := map[string]string{
+		"interval-min": "15,30",
+		"mttf-years":   "1,2",
+		"mttr-min":     "10,20",
+		"mttq-sec":     "2,10",
+		"timeout-sec":  "60,120",
+		"pe":           "0,0.1",
+		"alpha":        "0,0.001",
+	}
+	for param, values := range cases {
+		if err := run(quickArgs("-param", param, "-values", values)); err != nil {
+			t.Fatalf("param %s: %v", param, err)
+		}
+	}
+}
+
+func TestSweepCoordinationModes(t *testing.T) {
+	for _, mode := range []string{"fixed", "none", "max-of-n"} {
+		if err := run(quickArgs("-param", "procs", "-values", "8192", "-coordination", mode)); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestSweepRequiresValues(t *testing.T) {
+	err := run([]string{"-param", "procs"})
+	if err == nil || !strings.Contains(err.Error(), "-values") {
+		t.Fatalf("missing values accepted: %v", err)
+	}
+}
+
+func TestSweepRejectsUnknownParam(t *testing.T) {
+	err := run(quickArgs("-param", "magic", "-values", "1"))
+	if err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Fatalf("unknown parameter accepted: %v", err)
+	}
+}
+
+func TestSweepRejectsBadValue(t *testing.T) {
+	if err := run(quickArgs("-param", "procs", "-values", "banana")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}
+
+func TestSweepRejectsInvalidConfigValue(t *testing.T) {
+	if err := run(quickArgs("-param", "procs", "-values", "-1")); err == nil {
+		t.Fatal("invalid processor count accepted")
+	}
+}
+
+func TestSweepRejectsBadMode(t *testing.T) {
+	if err := run(quickArgs("-coordination", "nope", "-values", "1")); err == nil {
+		t.Fatal("bad coordination mode accepted")
+	}
+}

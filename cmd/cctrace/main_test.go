@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// runToFile executes run with stdout captured in a temp file and returns
+// the output.
+func runToFile(t *testing.T, args []string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestTraceEmitsNDJSON(t *testing.T) {
+	out := runToFile(t, []string{"-horizon", "3", "-procs", "8192", "-seed", "5"})
+	events, err := trace.ReadAll(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+	sawCheckpoint := false
+	for _, ev := range events {
+		if ev.Activity == "dump_chkpt" {
+			sawCheckpoint = true
+		}
+		if ev.Time < 0 || ev.Time > 3 {
+			t.Fatalf("event outside horizon: %+v", ev)
+		}
+	}
+	if !sawCheckpoint {
+		t.Fatal("no checkpoint dump within 3 hours")
+	}
+}
+
+func TestTraceFilterAndMarking(t *testing.T) {
+	out := runToFile(t, []string{
+		"-horizon", "3", "-procs", "8192", "-seed", "5",
+		"-only", "dump_chkpt", "-marking",
+	})
+	events, err := trace.ReadAll(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Activity != "dump_chkpt" {
+			t.Fatalf("filter leaked activity %q", ev.Activity)
+		}
+		if len(ev.Marking) == 0 {
+			t.Fatal("marking requested but empty")
+		}
+	}
+	if len(events) < 4 {
+		t.Fatalf("expected ~6 checkpoint dumps in 3h, got %d", len(events))
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	out := runToFile(t, []string{"-horizon", "3", "-procs", "8192", "-seed", "5", "-summary"})
+	if !strings.Contains(out, "dump_chkpt") || !strings.Contains(out, "events") {
+		t.Fatalf("summary output unexpected:\n%s", out)
+	}
+}
+
+func TestTraceRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-procs", "-1"}, os.Stdout); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

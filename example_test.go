@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleYoungInterval computes Young's optimum checkpoint interval for
+// the paper's base system: ~8K nodes at MTTF 1 year give a system MTBF of
+// about 1.07 h, and with ~57 s of checkpoint overhead the optimum interval
+// is far below the paper's 15-minute practicality floor.
+func ExampleYoungInterval() {
+	cfg := repro.DefaultConfig()
+	systemMTBF := cfg.MTTFPerNode / float64(cfg.Nodes())
+	overhead := cfg.MTTQ + cfg.CheckpointDumpTime()
+	tau, err := repro.YoungInterval(overhead, systemMTBF)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Young optimum: %.1f minutes\n", tau*60)
+	// Output:
+	// Young optimum: 11.0 minutes
+}
+
+// ExampleExpectedCoordinationTime shows the logarithmic coordination law of
+// Section 5: quadrupling the machine adds a constant ~13.9 s (MTTQ·ln 4).
+func ExampleExpectedCoordinationTime() {
+	mttq := repro.Seconds(10)
+	for _, n := range []int{16384, 65536, 262144} {
+		fmt.Printf("n=%6d: %.1f s\n", n, repro.ExpectedCoordinationTime(n, mttq)*3600)
+	}
+	// Output:
+	// n= 16384: 102.8 s
+	// n= 65536: 116.7 s
+	// n=262144: 130.5 s
+}
+
+// ExampleCoordinationAbortProbability shows the probabilistic
+// checkpoint-abort behaviour of the master timeout (Section 7.2): a 60 s
+// timeout almost always aborts at 64K processors, 180 s almost never does.
+func ExampleCoordinationAbortProbability() {
+	mttq := repro.Seconds(10)
+	for _, sec := range []float64{60, 120, 180} {
+		p := repro.CoordinationAbortProbability(65536, mttq, repro.Seconds(sec))
+		fmt.Printf("timeout %3.0fs: abort probability %.3f\n", sec, p)
+	}
+	// Output:
+	// timeout  60s: abort probability 1.000
+	// timeout 120s: abort probability 0.331
+	// timeout 180s: abort probability 0.001
+}
+
+// ExampleValidate shows configuration validation catching a cross-field
+// mistake.
+func ExampleValidate() {
+	cfg := repro.DefaultConfig()
+	cfg.ProbCorrelated = 0.1 // forgot CorrelatedFactor
+	fmt.Println(repro.Validate(cfg))
+	// Output:
+	// repro: cluster: ProbCorrelated set but CorrelatedFactor is not positive
+}

@@ -1,0 +1,52 @@
+// Capacity planning: the paper's headline result (§7.1) is that for a given
+// MTTF, MTTR and checkpoint interval there is an optimum number of
+// processors beyond which adding hardware *reduces* the work the machine
+// completes. This example sweeps the machine size like Figure 4a using the
+// confidence-interval-aware optimizer and reports where the knee sits and
+// where the lost time goes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig() // MTTF 1 yr/node, MTTR 10 min, interval 30 min
+
+	candidates := []int{8192, 16384, 32768, 65536, 131072, 262144}
+	res, err := repro.OptimalProcessors(cfg, candidates, repro.Options{
+		Replications: 3, Warmup: 300, Measure: 1500, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("procs     useful-fraction  total-useful-work")
+	for _, p := range res.Points {
+		fmt.Printf("%-9.0f %-16.4f %v\n", p.X, p.Fraction.Mean, p.Total)
+	}
+	fmt.Printf("\noptimum machine size: %.0f processors (%.0f job units", res.Best.X, res.Best.Total.Mean)
+	if res.Distinct {
+		fmt.Println(", statistically distinct from the runner-up)")
+	} else {
+		fmt.Println("; the knee is flat — the runner-up is within its confidence interval)")
+	}
+
+	// Where does the time go at the optimum? (§7.1: "over 50% of system
+	// time is spent in handling failures" at the peak.)
+	best := cfg
+	best.Processors = int(res.Best.X)
+	m, err := repro.Trajectory(best, 7, 500, 3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := m.Breakdown
+	fmt.Printf("\ntime at the optimum: execution %.1f%% (of which repeated %.1f%%), checkpointing %.1f%%, recovery %.1f%%, reboot %.1f%%\n",
+		100*b.Execution, 100*m.RepeatedWorkFraction,
+		100*(b.Quiesce+b.Dump+b.FSWait), 100*b.Recovery, 100*b.Reboot)
+	fmt.Printf("failure handling consumes %.1f%% of the machine — the paper's >50%% claim.\n",
+		100*(m.RepeatedWorkFraction+b.Recovery+b.Reboot))
+}

@@ -1,0 +1,48 @@
+// Correlated failures: reproduces the contrast between Figures 7 and 8 of
+// the paper. Error-propagation bursts (which strike during recovery) barely
+// move the useful-work fraction, while generic correlated failures — which
+// merely double the effective failure rate — cripple scalability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	base := repro.DefaultConfig()
+	base.Processors = 128 * 1024
+	base.MTTFPerNode = repro.Years(3) // the paper's choice for §7.2–7.3
+
+	opts := repro.Options{Replications: 3, Warmup: 300, Measure: 1500, Seed: 7}
+
+	indep := simulate("independent failures only", base, opts)
+
+	prop := base
+	prop.ProbCorrelated = 0.2 // every 5th failure starts an error burst
+	prop.CorrelatedFactor = 800
+	propFrac := simulate("error-propagation bursts (pe=0.2, r=800)", prop, opts)
+
+	gen := base
+	gen.CorrelatedFactor = 400
+	gen.GenericCorrelatedCoefficient = 0.0025 // doubles the failure rate
+	genFrac := simulate("generic correlated failures (r=400, alpha=0.0025)", gen, opts)
+
+	fmt.Println()
+	fmt.Printf("error propagation moved the fraction by %+.3f\n", propFrac-indep)
+	fmt.Printf("generic correlation moved the fraction by %+.3f\n", genFrac-indep)
+	fmt.Println("\nthe paper's conclusion: correlated failures that raise the base")
+	fmt.Println("failure rate must be modeled — they dominate the scalability limit;")
+	fmt.Println("bursts confined to recovery windows are comparatively harmless.")
+}
+
+func simulate(label string, cfg repro.Config, opts repro.Options) float64 {
+	res, err := repro.Simulate(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-50s %v\n", label, res.UsefulWorkFraction)
+	return res.UsefulWorkFraction.Mean
+}

@@ -1,0 +1,56 @@
+// Checkpoint-interval tuning: sweeps the checkpoint interval like Figure
+// 4b/4f and compares the simulation against Young's and Daly's closed-form
+// optimum intervals. The paper's finding: for large systems there is no
+// practical optimum in the 15 min–4 h range — checkpoint as often as the
+// I/O system allows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.Processors = 64 * 1024
+	cfg.MTTFPerNode = repro.Years(1)
+
+	systemMTBF := cfg.MTTFPerNode / float64(cfg.Nodes())
+	overhead := cfg.MTTQ + cfg.CheckpointDumpTime()
+	young, err := repro.YoungInterval(overhead, systemMTBF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	daly, err := repro.DalyInterval(overhead, systemMTBF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system MTBF %.2f h, checkpoint overhead %.1f s\n",
+		systemMTBF, overhead*3600)
+	fmt.Printf("Young optimum interval: %.1f min\n", young*60)
+	fmt.Printf("Daly  optimum interval: %.1f min\n", daly*60)
+	fmt.Println("(both below the 15-minute floor the paper deems practical)")
+	fmt.Println()
+
+	fmt.Println("interval  simulated-fraction  analytic-efficiency  total-useful-work")
+	for _, minutes := range []float64{15, 30, 60, 120, 240} {
+		c := cfg
+		c.CheckpointInterval = repro.Minutes(minutes)
+		res, err := repro.Simulate(c, repro.Options{
+			Replications: 3, Warmup: 300, Measure: 1500, Seed: uint64(minutes),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff, err := repro.AnalyticEfficiency(c, c.CheckpointInterval)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9.0f %-19.4f %-20.4f %.0f\n",
+			minutes, res.UsefulWorkFraction.Mean, eff, res.TotalUsefulWork.Mean)
+	}
+	fmt.Println("\nuseful work decreases monotonically with the interval: within the")
+	fmt.Println("practical range, checkpoint on the granularity of minutes, not hours.")
+}

@@ -1,0 +1,144 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExpectedCoordinationTruncated returns E[min(Y, timeout)] where Y is the
+// max of n i.i.d. exponentials with mean mttq — the expected length of the
+// quiesce phase when the master aborts at the timeout. It integrates the
+// survival function numerically (Simpson's rule): E[min(Y,T)] =
+// ∫₀ᵀ (1 − F_Y(t)) dt with F_Y(t) = (1 − e^{−t/θ})ⁿ.
+//
+// timeout ≤ 0 means no timeout and returns the full expectation MTTQ·H_n.
+func ExpectedCoordinationTruncated(n int, mttq, timeout float64) float64 {
+	if n <= 0 || mttq <= 0 {
+		return 0
+	}
+	if timeout <= 0 {
+		return ExpectedCoordinationTime(n, mttq)
+	}
+	survival := func(t float64) float64 {
+		// 1 - (1-e^{-t/θ})^n, computed in log space for large n.
+		return -math.Expm1(float64(n) * math.Log1p(-math.Exp(-t/mttq)))
+	}
+	const steps = 2000 // even
+	h := timeout / steps
+	sum := survival(0) + survival(timeout)
+	for i := 1; i < steps; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * survival(float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+// CoordinationEfficiency is the renewal-process approximation of the full
+// model's useful-work fraction under coordination, timeouts and failures —
+// the analytic counterpart of Figures 5 and 6. Derivation: checkpoint
+// attempts repeat every interval+q hours (q = E[min(Y, timeout)]) and
+// succeed with probability 1−p (p = CoordinationAbortProbability), so a
+// committed checkpoint cycle spans W = (interval+q)/(1−p) + dump hours of
+// wall time containing interval/(interval+q)·(W−dump) hours of execution.
+// Failures at rate λ=1/mtbf lose the work accrued since the last commit
+// and cost a restart R, giving the classic correction
+// λW/(e^{λW}−1)·e^{−λR}.
+//
+// Returned values: the predicted useful-work fraction and the abort
+// probability p.
+func CoordinationEfficiency(n int, mttq, timeout, interval, dump, restart, mtbf float64) (float64, float64, error) {
+	if interval <= 0 || mtbf <= 0 {
+		return 0, 0, fmt.Errorf("analytic: interval %v and MTBF %v must be positive", interval, mtbf)
+	}
+	if n <= 0 || mttq < 0 || timeout < 0 || dump < 0 || restart < 0 {
+		return 0, 0, fmt.Errorf("analytic: invalid coordination parameters n=%d mttq=%v timeout=%v dump=%v restart=%v",
+			n, mttq, timeout, dump, restart)
+	}
+	var q, p float64
+	if mttq > 0 {
+		q = ExpectedCoordinationTruncated(n, mttq, timeout)
+		p = CoordinationAbortProbability(n, mttq, timeout)
+	}
+	if p >= 1 {
+		return 0, 1, nil
+	}
+	attempts := 1 / (1 - p)
+	wall := attempts*(interval+q) + dump
+	execShare := attempts * interval / wall
+	lambda := 1 / mtbf
+	x := lambda * wall
+	failFactor := 1.0
+	if x > 1e-12 {
+		failFactor = x / math.Expm1(x)
+	}
+	eff := execShare * failFactor * math.Exp(-lambda*restart)
+	return eff, p, nil
+}
+
+// OptimalTimeoutAnalytic finds the master timeout maximising the renewal
+// model's predicted useful-work fraction by golden-section search over
+// (lowerBound, upperBound), and returns (bestTimeout, predictedFraction).
+// It quantifies the paper's §7.2 observation that the system is
+// insensitive to timeouts above a threshold: the returned optimum sits
+// just past the coordination-time scale MTTQ·H_n.
+func OptimalTimeoutAnalytic(n int, mttq, interval, dump, restart, mtbf, lowerBound, upperBound float64) (float64, float64, error) {
+	if lowerBound <= 0 || upperBound <= lowerBound {
+		return 0, 0, fmt.Errorf("analytic: invalid timeout bounds [%v, %v]", lowerBound, upperBound)
+	}
+	f := func(timeout float64) float64 {
+		eff, _, err := CoordinationEfficiency(n, mttq, timeout, interval, dump, restart, mtbf)
+		if err != nil {
+			return -1
+		}
+		return eff
+	}
+	const phi = 0.6180339887498949
+	a, b := lowerBound, upperBound
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 200 && b-a > 1e-9*upperBound; i++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	best := (a + b) / 2
+	return best, f(best), nil
+}
+
+// LatencyAwareEfficiency extends Efficiency with the checkpoint
+// overhead/latency distinction of Vaidya [12]: overhead C is the time the
+// application is stalled per checkpoint, while latency L ≥ C is the time
+// until the checkpoint is committed to stable storage. A failure landing
+// within the extra exposure L−C after the application resumes still rolls
+// back to the previous checkpoint, so the failure-exposure term uses
+// interval+L while the wall-time term uses interval+C:
+//
+//	eff = interval / [ e^{λR} · (1/λ) · (e^{λ(interval+L)} − 1) · (interval+C)/(interval+L) ]
+//
+// With L = C this reduces exactly to Efficiency.
+func LatencyAwareEfficiency(interval, overhead, latency, restart, mtbf float64) (float64, error) {
+	if interval <= 0 || mtbf <= 0 {
+		return 0, fmt.Errorf("analytic: interval %v and MTBF %v must be positive", interval, mtbf)
+	}
+	if overhead < 0 || restart < 0 {
+		return 0, fmt.Errorf("analytic: negative overhead %v or restart %v", overhead, restart)
+	}
+	if latency < overhead {
+		return 0, fmt.Errorf("analytic: latency %v below overhead %v", latency, overhead)
+	}
+	lambda := 1 / mtbf
+	exposure := math.Expm1(lambda*(interval+latency)) / lambda
+	scale := (interval + overhead) / (interval + latency)
+	expected := math.Exp(lambda*restart) * exposure * scale
+	return interval / expected, nil
+}

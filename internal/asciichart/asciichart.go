@@ -1,0 +1,130 @@
+// Package asciichart renders experiment figures as plain-text charts so
+// the reproduced paper figures can be eyeballed directly in a terminal,
+// with per-series markers, optional logarithmic x axes and a legend.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// markers assigns one rune per series, cycling when exhausted.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height are the plot area dimensions in characters
+	// (defaults 64×20).
+	Width, Height int
+	// LogX plots x on a log10 scale — right for processor-count axes.
+	LogX bool
+}
+
+// Render draws the figure. Empty figures render a placeholder line.
+func Render(fig *experiments.Figure, opts Options) string {
+	if opts.Width <= 0 {
+		opts.Width = 64
+	}
+	if opts.Height <= 0 {
+		opts.Height = 20
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", fig.ID, fig.Title)
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	pointCount := 0
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			x := xVal(p.X, opts.LogX)
+			y := fig.YValue(p)
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+			pointCount++
+		}
+	}
+	if pointCount == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]rune, opts.Height)
+	for r := range grid {
+		grid[r] = make([]rune, opts.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range fig.Series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x := xVal(p.X, opts.LogX)
+			y := fig.YValue(p)
+			col := int(math.Round((x - xMin) / (xMax - xMin) * float64(opts.Width-1)))
+			row := opts.Height - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(opts.Height-1)))
+			if grid[row][col] != ' ' && grid[row][col] != mark {
+				grid[row][col] = '?' // overlapping series
+			} else {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	for r, rowRunes := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", yMax)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%9.3g ", yMin)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.WriteString(string(rowRunes))
+		sb.WriteString("\n")
+	}
+	sb.WriteString(strings.Repeat(" ", 10))
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", opts.Width))
+	sb.WriteString("\n")
+	xLeft, xRight := fmtX(xMin, opts.LogX), fmtX(xMax, opts.LogX)
+	pad := opts.Width - len(xLeft) - len(xRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "%s%s%s%s\n", strings.Repeat(" ", 11), xLeft, strings.Repeat(" ", pad), xRight)
+	fmt.Fprintf(&sb, "           x: %s", fig.XLabel)
+	if opts.LogX {
+		sb.WriteString(" (log scale)")
+	}
+	fmt.Fprintf(&sb, " | y: %s\n", fig.YLabel)
+	for si, s := range fig.Series {
+		fmt.Fprintf(&sb, "           %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+// xVal maps an x value onto the plotting scale.
+func xVal(x float64, logX bool) float64 {
+	if logX && x > 0 {
+		return math.Log10(x)
+	}
+	return x
+}
+
+// fmtX renders an axis endpoint in the original (non-log) domain.
+func fmtX(v float64, logX bool) string {
+	if logX {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,95 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func demoFigure() *experiments.Figure {
+	mk := func(x, y float64) experiments.Point {
+		return experiments.Point{
+			X:        x,
+			Fraction: stats.Interval{Mean: y},
+			Total:    stats.Interval{Mean: y * x},
+		}
+	}
+	return &experiments.Figure{
+		ID: "demo", Title: "demo figure", XLabel: "processors", YLabel: "useful work fraction",
+		Series: []experiments.Series{
+			{Name: "alpha", Points: []experiments.Point{mk(1024, 0.9), mk(4096, 0.8), mk(16384, 0.7)}},
+			{Name: "beta", Points: []experiments.Point{mk(1024, 0.5), mk(4096, 0.4), mk(16384, 0.3)}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(demoFigure(), Options{Width: 40, Height: 10, LogX: true})
+	for _, want := range []string{"demo figure", "alpha", "beta", "*", "o", "log scale", "useful work fraction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Axis endpoints in original domain.
+	if !strings.Contains(out, "1.02e+03") && !strings.Contains(out, "1024") {
+		t.Fatalf("x-axis left endpoint missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderTopBottomValues(t *testing.T) {
+	out := Render(demoFigure(), Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "0.9") || !strings.Contains(out, "0.3") {
+		t.Fatalf("y-axis extremes missing:\n%s", out)
+	}
+	// The top row must contain the maximum's marker.
+	lines := strings.Split(out, "\n")
+	if !strings.ContainsRune(lines[1], '*') {
+		t.Fatalf("top row lacks the max point:\n%s", out)
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	out := Render(&experiments.Figure{ID: "empty", Title: "nothing"}, Options{})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty figure not flagged:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	fig := &experiments.Figure{
+		ID: "flat", Title: "flat", XLabel: "x", YLabel: "useful work fraction",
+		Series: []experiments.Series{{
+			Name: "only",
+			Points: []experiments.Point{{
+				X: 5, Fraction: stats.Interval{Mean: 0.5},
+			}},
+		}},
+	}
+	out := Render(fig, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderOverlapMarker(t *testing.T) {
+	mk := func(x, y float64) experiments.Point {
+		return experiments.Point{X: x, Fraction: stats.Interval{Mean: y}}
+	}
+	fig := &experiments.Figure{
+		ID: "overlap", Title: "overlap", XLabel: "x", YLabel: "useful work fraction",
+		Series: []experiments.Series{
+			{Name: "a", Points: []experiments.Point{mk(1, 0.5), mk(2, 0.9)}},
+			{Name: "b", Points: []experiments.Point{mk(1, 0.5), mk(2, 0.1)}},
+		},
+	}
+	out := Render(fig, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "?") {
+		t.Fatalf("overlapping points not marked:\n%s", out)
+	}
+}

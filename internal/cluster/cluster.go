@@ -1,0 +1,406 @@
+// Package cluster describes the target supercomputer of Section 3 of the
+// paper: compute nodes with multiple processors, dedicated I/O nodes shared
+// by fixed-size groups of compute nodes, and a parallel file system behind
+// them. It derives the transfer latencies (checkpoint dump, background
+// file-system write, application I/O) that parameterise the stochastic
+// model, mirroring Table 3.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unit conversion constants. Model time is hours everywhere.
+const (
+	// SecondsPerHour converts seconds to hours.
+	SecondsPerHour = 3600.0
+	// HoursPerYear is the paper's MTTF unit (Julian year).
+	HoursPerYear = 8766.0
+	// MB is one megabyte in bytes.
+	MB = 1e6
+	// GB is one gigabyte in bytes.
+	GB = 1e9
+)
+
+// Seconds converts a duration in seconds to model hours.
+func Seconds(s float64) float64 { return s / SecondsPerHour }
+
+// Minutes converts a duration in minutes to model hours.
+func Minutes(m float64) float64 { return m * 60 / SecondsPerHour }
+
+// Years converts a duration in years to model hours.
+func Years(y float64) float64 { return y * HoursPerYear }
+
+// Config is the full parameterisation of the target system, covering every
+// row of Table 3 of the paper. All durations are hours, all rates are per
+// hour, sizes are bytes and bandwidths bytes/hour.
+type Config struct {
+	// Processors is the total compute processor count (Table 3: 8K–256K;
+	// Figures 4g/h go to 1000K).
+	Processors int
+	// ProcsPerNode is the number of processors integrated per compute
+	// node (paper default 8; 16 and 32 in Figures 4h and 4g).
+	ProcsPerNode int
+	// ComputePerIONode is the number of compute nodes sharing one I/O
+	// node (Table 3: 64, the BlueGene/L ratio).
+	ComputePerIONode int
+
+	// MTTFPerNode is the per-node mean time to failure (Table 3:
+	// 1–25 years).
+	MTTFPerNode float64
+	// MTTR is the system-wide mean time for all compute nodes to read
+	// the checkpoint and reinitialise (Table 3: 10 minutes).
+	MTTR float64
+	// MTTRIONodes is the I/O-node restart time (Table 3: 1 minute).
+	MTTRIONodes float64
+	// RebootTime is the whole-system reboot time after severe failures
+	// (Table 3: 1 hour).
+	RebootTime float64
+	// SevereFailureThreshold is the number of consecutive unsuccessful
+	// recoveries that triggers a full system reboot. The paper leaves the
+	// value to its technical report; the default of 250 is calibrated so
+	// that ordinary correlated-failure bursts (which the paper's own
+	// birth–death analysis makes ~25 consecutive recovery failures long
+	// at Figure 7's parameters) do not reboot the machine, matching the
+	// flat Figure 7 the paper reports (TR-gap decision 2 in DESIGN.md).
+	SevereFailureThreshold int
+
+	// CheckpointInterval is the time between checkpoint initiations
+	// (Table 3: 15 minutes – 4 hours).
+	CheckpointInterval float64
+	// MTTQ is the per-node mean time to quiesce (Table 3: 0.5–10 s).
+	MTTQ float64
+	// Timeout is the master's coordination timeout (Table 3: 20 s–2 min);
+	// 0 disables the timeout mechanism.
+	Timeout float64
+	// BroadcastOverhead is the latency of a master broadcast reaching the
+	// compute nodes (Table 3: 1 ms) plus the software transmission
+	// overhead (Table 3: 1 ms).
+	BroadcastOverhead float64
+
+	// IOComputeCyclePeriod is the period of the application's compute/IO
+	// cycle (Table 3: 3 minutes).
+	IOComputeCyclePeriod float64
+	// ComputeFraction is the fraction of the cycle spent computing
+	// (Table 3: 0.88–1.0).
+	ComputeFraction float64
+
+	// BandwidthToIONode is the aggregate bandwidth from one group of
+	// compute nodes to their I/O node (Table 3: 350 MB/s).
+	BandwidthToIONode float64
+	// BandwidthIOToFS is the file-system bandwidth per I/O node
+	// (Table 3: 1 Gb/s = 125 MB/s).
+	BandwidthIOToFS float64
+	// CheckpointSizePerNode is the checkpoint state per compute node
+	// (Table 3: 256 MB).
+	CheckpointSizePerNode float64
+	// IODataPerNode is the application data written per node per I/O
+	// phase (Table 3: 10 MB).
+	IODataPerNode float64
+
+	// Correlated failure parameters (Sections 3.5 and 6).
+
+	// ProbCorrelated is p_e, the probability that a failure triggers an
+	// error-propagation correlated-failure window (Table 3: 0–0.2).
+	ProbCorrelated float64
+	// CorrelatedFactor is r, the failure-rate multiplier inside a
+	// correlated window (Table 3: 100–1600).
+	CorrelatedFactor float64
+	// CorrelatedWindow is the duration of the error burst (Table 3:
+	// 3 minutes).
+	CorrelatedWindow float64
+	// GenericCorrelatedCoefficient is α, the unconditional probability of
+	// a generic correlated failure at any time (Figure 8: 0.0025);
+	// 0 disables generic correlated failures.
+	GenericCorrelatedCoefficient float64
+
+	// Coordination selects how the coordination (quiesce) time of the
+	// checkpoint protocol is modeled (Section 7 studies all three).
+	Coordination CoordinationMode
+
+	// Ablation switches. These are not Table 3 parameters; they disable
+	// design features of the modeled system so their value can be
+	// quantified (see the ablation benchmarks).
+
+	// BlockingCheckpointWrite makes the checkpoint file-system write a
+	// foreground operation: the compute nodes stay stopped until the I/O
+	// nodes finish writing the checkpoint to the file system. Footnote 1
+	// of the paper notes that current systems may lack the two-step
+	// background I/O the model assumes; this switch models those systems.
+	BlockingCheckpointWrite bool
+
+	// NoBufferedRecovery disables the use of I/O-node checkpoint buffers
+	// during recovery: rollback always targets the last durable (file
+	// system) checkpoint and recovery always performs stage 1, even when
+	// a newer checkpoint is still buffered at the I/O nodes.
+	NoBufferedRecovery bool
+
+	// NoIOFailures removes the I/O-node failure process, isolating the
+	// compute-side failure dynamics. Used to quantify the contribution of
+	// I/O-node failures and for cross-validating the SAN engine against
+	// the independent cycle simulator (internal/cyclesim).
+	NoIOFailures bool
+
+	// StragglerFraction is the share of compute processors whose quiesce
+	// is slow (heterogeneity the paper's identical-distribution
+	// assumption excludes; §7.2 assumes i.i.d. quiesce times). 0 disables.
+	StragglerFraction float64
+	// StragglerMTTQMultiplier scales the stragglers' mean quiesce time
+	// relative to MTTQ. Must be ≥ 1 when StragglerFraction is set.
+	StragglerMTTQMultiplier float64
+
+	// Extension parameters: permanent failures, which the paper
+	// explicitly defers (§3.4: recovery from a permanent hardware failure
+	// "would require system reconfiguration and remapping of the
+	// checkpointed states into a new set of nodes (assuming that spare
+	// nodes are available)", footnote 2: "the overhead of the system
+	// reconfiguration will result in a larger MTTR").
+
+	// ProbPermanentFailure is the probability that a compute-subsystem
+	// failure is permanent and needs reconfiguration onto spare nodes
+	// before recovery. 0 (the paper's model) disables the extension.
+	ProbPermanentFailure float64
+	// ReconfigurationTime is the deterministic extra time recovery takes
+	// after a permanent failure (spare-node mapping plus checkpoint-state
+	// remapping). Must be positive when ProbPermanentFailure is set.
+	ReconfigurationTime float64
+
+	// Incremental checkpointing (Agarwal et al. [24], cited by the paper
+	// as adaptive incremental checkpointing for large-scale systems):
+	// between full checkpoints, only dirty state is dumped.
+
+	// IncrementalFraction is the size of an incremental checkpoint
+	// relative to a full one (0 disables incremental checkpointing,
+	// which is the paper's model).
+	IncrementalFraction float64
+	// FullCheckpointEvery makes every k-th checkpoint full; the k−1 in
+	// between are incremental. Must be ≥ 2 when IncrementalFraction is
+	// set. Recovery always reads the full chain from the file system, so
+	// recovery times are unchanged.
+	FullCheckpointEvery int
+}
+
+// CoordinationMode enumerates the paper's three treatments of quiesce time.
+type CoordinationMode int
+
+const (
+	// CoordFixed models the base model's "fixed quiesce time": a
+	// deterministic delay of MTTQ (Section 7.1).
+	CoordFixed CoordinationMode = iota + 1
+	// CoordNone models "no coordination": the system-wide quiesce time is
+	// a single exponential with mean MTTQ, regardless of node count
+	// (Section 7.2's baseline).
+	CoordNone
+	// CoordMaxOfN models full coordination: the quiesce time is the max
+	// of n i.i.d. exponentials with per-node mean MTTQ (Section 5).
+	CoordMaxOfN
+)
+
+func (c CoordinationMode) String() string {
+	switch c {
+	case CoordFixed:
+		return "fixed"
+	case CoordNone:
+		return "none"
+	case CoordMaxOfN:
+		return "max-of-n"
+	default:
+		return fmt.Sprintf("CoordinationMode(%d)", int(c))
+	}
+}
+
+// Default returns the paper's base configuration (Section 7.1 plus the
+// Table 3 defaults): 64K processors, 8 per node, MTTF 1 year, MTTR 10
+// minutes, 30-minute checkpoint interval, fixed quiesce time, no timeout,
+// no correlated failures.
+func Default() Config {
+	return Config{
+		Processors:             64 * 1024,
+		ProcsPerNode:           8,
+		ComputePerIONode:       64,
+		MTTFPerNode:            Years(1),
+		MTTR:                   Minutes(10),
+		MTTRIONodes:            Minutes(1),
+		RebootTime:             1.0,
+		SevereFailureThreshold: 250,
+		CheckpointInterval:     Minutes(30),
+		MTTQ:                   Seconds(10),
+		Timeout:                0,
+		BroadcastOverhead:      Seconds(0.002),
+		IOComputeCyclePeriod:   Minutes(3),
+		ComputeFraction:        0.95,
+		BandwidthToIONode:      350 * MB * SecondsPerHour,
+		BandwidthIOToFS:        (1.0 / 8) * GB * SecondsPerHour,
+		CheckpointSizePerNode:  256 * MB,
+		IODataPerNode:          10 * MB,
+		ProbCorrelated:         0,
+		CorrelatedFactor:       0,
+		CorrelatedWindow:       Minutes(3),
+		Coordination:           CoordFixed,
+	}
+}
+
+// Validate reports the first structural problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors <= 0:
+		return errors.New("cluster: Processors must be positive")
+	case c.ProcsPerNode <= 0:
+		return errors.New("cluster: ProcsPerNode must be positive")
+	case c.Processors%c.ProcsPerNode != 0:
+		return fmt.Errorf("cluster: Processors (%d) not divisible by ProcsPerNode (%d)", c.Processors, c.ProcsPerNode)
+	case c.ComputePerIONode <= 0:
+		return errors.New("cluster: ComputePerIONode must be positive")
+	case c.MTTFPerNode <= 0:
+		return errors.New("cluster: MTTFPerNode must be positive")
+	case c.MTTR <= 0:
+		return errors.New("cluster: MTTR must be positive")
+	case c.MTTRIONodes <= 0:
+		return errors.New("cluster: MTTRIONodes must be positive")
+	case c.RebootTime <= 0:
+		return errors.New("cluster: RebootTime must be positive")
+	case c.SevereFailureThreshold <= 0:
+		return errors.New("cluster: SevereFailureThreshold must be positive")
+	case c.CheckpointInterval <= 0:
+		return errors.New("cluster: CheckpointInterval must be positive")
+	case c.MTTQ < 0:
+		return errors.New("cluster: MTTQ must be non-negative")
+	case c.Timeout < 0:
+		return errors.New("cluster: Timeout must be non-negative")
+	case c.IOComputeCyclePeriod <= 0:
+		return errors.New("cluster: IOComputeCyclePeriod must be positive")
+	case c.ComputeFraction <= 0 || c.ComputeFraction > 1:
+		return fmt.Errorf("cluster: ComputeFraction %v outside (0,1]", c.ComputeFraction)
+	case c.BandwidthToIONode <= 0 || c.BandwidthIOToFS <= 0:
+		return errors.New("cluster: bandwidths must be positive")
+	case c.CheckpointSizePerNode <= 0:
+		return errors.New("cluster: CheckpointSizePerNode must be positive")
+	case c.IODataPerNode < 0:
+		return errors.New("cluster: IODataPerNode must be non-negative")
+	case c.ProbCorrelated < 0 || c.ProbCorrelated > 1:
+		return fmt.Errorf("cluster: ProbCorrelated %v outside [0,1]", c.ProbCorrelated)
+	case c.ProbCorrelated > 0 && c.CorrelatedFactor <= 0:
+		return errors.New("cluster: ProbCorrelated set but CorrelatedFactor is not positive")
+	case c.GenericCorrelatedCoefficient < 0 || c.GenericCorrelatedCoefficient > 1:
+		return fmt.Errorf("cluster: GenericCorrelatedCoefficient %v outside [0,1]", c.GenericCorrelatedCoefficient)
+	case c.GenericCorrelatedCoefficient > 0 && c.CorrelatedFactor <= 0:
+		return errors.New("cluster: GenericCorrelatedCoefficient set but CorrelatedFactor is not positive")
+	case c.Coordination < CoordFixed || c.Coordination > CoordMaxOfN:
+		return fmt.Errorf("cluster: invalid Coordination %d", int(c.Coordination))
+	case c.ProbPermanentFailure < 0 || c.ProbPermanentFailure > 1:
+		return fmt.Errorf("cluster: ProbPermanentFailure %v outside [0,1]", c.ProbPermanentFailure)
+	case c.ProbPermanentFailure > 0 && c.ReconfigurationTime <= 0:
+		return errors.New("cluster: ProbPermanentFailure set but ReconfigurationTime is not positive")
+	case c.StragglerFraction < 0 || c.StragglerFraction > 1:
+		return fmt.Errorf("cluster: StragglerFraction %v outside [0,1]", c.StragglerFraction)
+	case c.StragglerFraction > 0 && c.StragglerMTTQMultiplier < 1:
+		return errors.New("cluster: StragglerFraction set but StragglerMTTQMultiplier is below 1")
+	case c.IncrementalFraction < 0 || c.IncrementalFraction >= 1:
+		return fmt.Errorf("cluster: IncrementalFraction %v outside [0,1)", c.IncrementalFraction)
+	case c.IncrementalFraction > 0 && c.FullCheckpointEvery < 2:
+		return errors.New("cluster: IncrementalFraction set but FullCheckpointEvery is below 2")
+	}
+	return nil
+}
+
+// StragglerCount returns the number of slow-quiescing processors.
+func (c Config) StragglerCount() int {
+	return int(c.StragglerFraction * float64(c.Processors))
+}
+
+// Nodes returns the number of compute nodes.
+func (c Config) Nodes() int { return c.Processors / c.ProcsPerNode }
+
+// IONodes returns the number of I/O nodes (at least one).
+func (c Config) IONodes() int {
+	n := (c.Nodes() + c.ComputePerIONode - 1) / c.ComputePerIONode
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NodeFailureRate is the per-node failure rate λ = 1/MTTF. The node failure
+// rate equals the processor failure rate times processors per node
+// (Section 3.4); MTTFPerNode already encodes that product.
+func (c Config) NodeFailureRate() float64 { return 1 / c.MTTFPerNode }
+
+// ComputeFailureRate is the aggregate independent failure rate of all
+// compute nodes.
+func (c Config) ComputeFailureRate() float64 {
+	return float64(c.Nodes()) * c.NodeFailureRate()
+}
+
+// IOFailureRate is the aggregate independent failure rate of all I/O nodes.
+// I/O nodes are nodes and share the per-node MTTF (TR-gap decision 3).
+func (c Config) IOFailureRate() float64 {
+	return float64(c.IONodes()) * c.NodeFailureRate()
+}
+
+// GenericCorrelatedRate is the additional system-wide failure rate due to
+// generic correlated failures, αrnλ, so that the total rate is nλ(1+αr)
+// as in Section 6 (λs = λsi + λsc).
+func (c Config) GenericCorrelatedRate() float64 {
+	return c.GenericCorrelatedCoefficient * c.CorrelatedFactor * c.ComputeFailureRate()
+}
+
+// CheckpointDumpTime is the time for a group of compute nodes to dump their
+// checkpoints to the shared I/O node: group size × per-node checkpoint size
+// over the shared link (≈ 46.8 s for the Table 3 values). All groups
+// proceed in parallel, so this is also the system-wide dump time.
+func (c Config) CheckpointDumpTime() float64 {
+	return float64(c.ComputePerIONode) * c.CheckpointSizePerNode / c.BandwidthToIONode
+}
+
+// CheckpointFSWriteTime is the background time for one I/O node to write
+// its buffered group checkpoint to the file system (≈ 131 s for Table 3).
+func (c Config) CheckpointFSWriteTime() float64 {
+	return float64(c.ComputePerIONode) * c.CheckpointSizePerNode / c.BandwidthIOToFS
+}
+
+// CheckpointFSReadTime is the recovery stage-1 time: the I/O nodes read the
+// last checkpoint back from the file system (same transfer size as the
+// write).
+func (c Config) CheckpointFSReadTime() float64 { return c.CheckpointFSWriteTime() }
+
+// AppIOForegroundTime is the duration of the application's foreground I/O
+// phase, (1-f)·period (Section 3.3 / Table 3). Compute nodes cannot quiesce
+// during this phase (non-preemptive I/O).
+func (c Config) AppIOForegroundTime() float64 {
+	return (1 - c.ComputeFraction) * c.IOComputeCyclePeriod
+}
+
+// AppComputeTime is the compute phase of the application cycle, f·period.
+func (c Config) AppComputeTime() float64 {
+	return c.ComputeFraction * c.IOComputeCyclePeriod
+}
+
+// AppIOBackgroundWriteTime is the I/O nodes' background write of one I/O
+// phase's application data to the file system (≈ 5.1 s for Table 3).
+func (c Config) AppIOBackgroundWriteTime() float64 {
+	return float64(c.ComputePerIONode) * c.IODataPerNode / c.BandwidthIOToFS
+}
+
+// BlueGeneL returns a configuration shaped like the IBM BlueGene/L system
+// the paper describes in Section 3.1: 64K dual-processor compute nodes
+// (128K processors), 1024 I/O nodes (64 compute nodes each), 350 MB/s
+// group links and 1 Gb/s file-system links — the hardware whose field data
+// populates Table 3.
+func BlueGeneL() Config {
+	c := Default()
+	c.ProcsPerNode = 2
+	c.Processors = 65536 * 2
+	return c
+}
+
+// ASCIQ returns a configuration shaped like the ASCI Q system the paper
+// cites for its failure data (Section 3.4: per-node MTTF of 1 year, via
+// Elnozahy et al. [11]): 2048 four-processor nodes.
+func ASCIQ() Config {
+	c := Default()
+	c.ProcsPerNode = 4
+	c.Processors = 2048 * 4
+	c.MTTFPerNode = Years(1)
+	return c
+}

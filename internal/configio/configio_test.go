@@ -1,0 +1,139 @@
+package configio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestEmptyJSONGivesDefaults(t *testing.T) {
+	cfg, err := Load(strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := cluster.Default()
+	if cfg.Processors != def.Processors || cfg.MTTFPerNode != def.MTTFPerNode ||
+		cfg.Coordination != def.Coordination {
+		t.Fatalf("empty JSON did not give defaults: %+v", cfg)
+	}
+}
+
+func TestLoadOverrides(t *testing.T) {
+	src := `{
+		"processors": 131072,
+		"mttfYears": 3,
+		"intervalMinutes": 15,
+		"timeoutSeconds": 100,
+		"coordination": "max-of-n",
+		"probCorrelated": 0.1,
+		"correlatedFactor": 800,
+		"noIOFailures": true,
+		"computeFraction": 1.0
+	}`
+	cfg, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Processors != 131072 {
+		t.Errorf("processors = %d", cfg.Processors)
+	}
+	if math.Abs(cfg.MTTFPerNode-cluster.Years(3)) > 1e-9 {
+		t.Errorf("mttf = %v", cfg.MTTFPerNode)
+	}
+	if math.Abs(cfg.CheckpointInterval-cluster.Minutes(15)) > 1e-12 {
+		t.Errorf("interval = %v", cfg.CheckpointInterval)
+	}
+	if math.Abs(cfg.Timeout-cluster.Seconds(100)) > 1e-12 {
+		t.Errorf("timeout = %v", cfg.Timeout)
+	}
+	if cfg.Coordination != cluster.CoordMaxOfN {
+		t.Errorf("coordination = %v", cfg.Coordination)
+	}
+	if cfg.ProbCorrelated != 0.1 || cfg.CorrelatedFactor != 800 {
+		t.Errorf("correlated params wrong: %v %v", cfg.ProbCorrelated, cfg.CorrelatedFactor)
+	}
+	if !cfg.NoIOFailures || cfg.ComputeFraction != 1.0 {
+		t.Errorf("switches wrong: %+v", cfg)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := cluster.Default()
+	orig.Processors = 262144
+	orig.MTTFPerNode = cluster.Years(2)
+	orig.Coordination = cluster.CoordMaxOfN
+	orig.Timeout = cluster.Seconds(90)
+	orig.StragglerFraction = 0.02
+	orig.StragglerMTTQMultiplier = 5
+	orig.ProbPermanentFailure = 0.25
+	orig.ReconfigurationTime = cluster.Minutes(45)
+	orig.IncrementalFraction = 0.2
+	orig.FullCheckpointEvery = 4
+	orig.BlockingCheckpointWrite = true
+
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Processors != orig.Processors ||
+		math.Abs(back.MTTFPerNode-orig.MTTFPerNode) > 1e-6 ||
+		back.Coordination != orig.Coordination ||
+		math.Abs(back.Timeout-orig.Timeout) > 1e-9 ||
+		back.StragglerFraction != orig.StragglerFraction ||
+		back.StragglerMTTQMultiplier != orig.StragglerMTTQMultiplier ||
+		back.ProbPermanentFailure != orig.ProbPermanentFailure ||
+		math.Abs(back.ReconfigurationTime-orig.ReconfigurationTime) > 1e-9 ||
+		back.IncrementalFraction != orig.IncrementalFraction ||
+		back.FullCheckpointEvery != orig.FullCheckpointEvery ||
+		back.BlockingCheckpointWrite != orig.BlockingCheckpointWrite {
+		t.Fatalf("round trip mismatch:\norig %+v\nback %+v", orig, back)
+	}
+	if math.Abs(back.BandwidthToIONode-orig.BandwidthToIONode)/orig.BandwidthToIONode > 1e-9 {
+		t.Fatalf("bandwidth round trip: %v vs %v", back.BandwidthToIONode, orig.BandwidthToIONode)
+	}
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"processros": 5}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+}
+
+func TestBadJSON(t *testing.T) {
+	if _, err := Load(strings.NewReader("{")); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}
+
+func TestUnknownCoordination(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"coordination": "psychic"}`)); err == nil {
+		t.Fatal("unknown coordination accepted")
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	// probCorrelated without a factor fails cluster validation.
+	if _, err := Load(strings.NewReader(`{"probCorrelated": 0.1}`)); err == nil {
+		t.Fatal("invalid combination accepted")
+	}
+}
+
+func TestSaveDefaultsLoadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, cluster.Default()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"processors\"") {
+		t.Fatalf("serialized form unexpected:\n%s", buf.String())
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package cyclesim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestCompletionFailureFreeMatchesOverhead(t *testing.T) {
+	cfg := validated()
+	cfg.MTTFPerNode = cluster.Years(1e9)
+	s, err := New(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const work = 500.0
+	wall, err := s.CompletionTime(work, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure-free: wall ≈ work / fraction with fraction ≈ 0.969.
+	frac := cfg.CheckpointInterval / (cfg.CheckpointInterval + cfg.MTTQ + cfg.CheckpointDumpTime())
+	want := work / frac
+	if math.Abs(wall-want)/want > 0.01 {
+		t.Fatalf("wall = %v, want ≈ %v", wall, want)
+	}
+}
+
+func TestCompletionWithFailuresStretches(t *testing.T) {
+	cfg := validated() // MTTF 1yr, 64K procs: fraction ≈ 0.65
+	c, err := JobCompletion(cfg, 200, 8, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Samples) != 8 {
+		t.Fatalf("samples = %d", len(c.Samples))
+	}
+	// Stretch should be near 1/fraction ≈ 1.5, definitely within (1.2, 2.2).
+	if st := c.Stretch(); st < 1.2 || st > 2.2 {
+		t.Fatalf("stretch = %v, want ≈ 1.5", st)
+	}
+	// Quantiles bracket the mean and are ordered.
+	if c.Quantile(0) > c.Quantile(0.5) || c.Quantile(0.5) > c.Quantile(1) {
+		t.Fatal("quantiles not ordered")
+	}
+	if c.Mean.Mean < c.Quantile(0) || c.Mean.Mean > c.Quantile(1) {
+		t.Fatalf("mean %v outside sample range [%v, %v]", c.Mean.Mean, c.Quantile(0), c.Quantile(1))
+	}
+}
+
+func TestCompletionValidation(t *testing.T) {
+	cfg := validated()
+	s, err := New(cfg, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompletionTime(0, 0); err == nil {
+		t.Error("zero work accepted")
+	}
+	if _, err := JobCompletion(cfg, 100, 0, 1); err == nil {
+		t.Error("zero replications accepted")
+	}
+	bad := cluster.Default() // outside envelope
+	if _, err := JobCompletion(bad, 100, 2, 1); err == nil {
+		t.Error("out-of-envelope config accepted")
+	}
+}
+
+func TestCompletionWallBound(t *testing.T) {
+	cfg := validated()
+	s, err := New(cfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 100h job cannot finish in 10h of wall time.
+	if _, err := s.CompletionTime(100, 10); err == nil {
+		t.Fatal("impossible wall bound accepted")
+	}
+}
+
+func TestCompletionEmptyQuantile(t *testing.T) {
+	var c Completion
+	if c.Quantile(0.5) != 0 || c.Stretch() != 0 {
+		t.Fatal("empty completion accessors wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package cyclesim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TestCrossValidationAgainstSAN is the repository's strongest correctness
+// check: the SAN executor (internal/san + internal/model) and this
+// independent renewal-cycle implementation must produce statistically
+// indistinguishable useful-work fractions on every configuration inside
+// the shared envelope. The two implementations share no engine code — only
+// the configuration arithmetic and the distributions.
+func TestCrossValidationAgainstSAN(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*cluster.Config)
+	}{
+		{"base 64K", func(c *cluster.Config) {}},
+		{"128K knee", func(c *cluster.Config) { c.Processors = 128 * 1024 }},
+		{"short MTTF", func(c *cluster.Config) { c.MTTFPerNode = cluster.Years(0.5) }},
+		{"long interval", func(c *cluster.Config) { c.CheckpointInterval = cluster.Minutes(120) }},
+		{"max-of-n coordination", func(c *cluster.Config) {
+			c.Coordination = cluster.CoordMaxOfN
+			c.MTTFPerNode = cluster.Years(3)
+		}},
+		{"timeout 100s", func(c *cluster.Config) {
+			c.Coordination = cluster.CoordMaxOfN
+			c.MTTFPerNode = cluster.Years(3)
+			c.Timeout = cluster.Seconds(100)
+		}},
+		{"no buffered recovery", func(c *cluster.Config) { c.NoBufferedRecovery = true }},
+		{"permanent failures", func(c *cluster.Config) {
+			c.ProbPermanentFailure = 0.3
+			c.ReconfigurationTime = cluster.Minutes(20)
+		}},
+		{"generic correlated", func(c *cluster.Config) {
+			c.MTTFPerNode = cluster.Years(3)
+			c.CorrelatedFactor = 400
+			c.GenericCorrelatedCoefficient = 0.0025
+		}},
+		{"stragglers", func(c *cluster.Config) {
+			c.Coordination = cluster.CoordMaxOfN
+			c.MTTFPerNode = cluster.Years(3)
+			c.StragglerFraction = 0.01
+			c.StragglerMTTQMultiplier = 10
+		}},
+	}
+
+	const (
+		reps    = 4
+		warmup  = 300
+		measure = 2500
+	)
+	for i, c := range cases {
+		c := c
+		i := i
+		t.Run(c.name, func(t *testing.T) {
+			cfg := validated()
+			c.mut(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			root := rng.New(uint64(9000 + i))
+			var san, cyc stats.Accumulator
+			for r := 0; r < reps; r++ {
+				seedA, seedB := root.Uint64(), root.Uint64()
+				in, err := model.New(cfg, seedA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms, err := in.RunSteadyState(warmup, measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				san.Add(ms.UsefulWorkFraction)
+
+				cs, err := New(cfg, seedB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mc, err := cs.RunSteadyState(warmup, measure)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cyc.Add(mc.UsefulWorkFraction)
+			}
+			diff := san.Mean() - cyc.Mean()
+			// Two-sample tolerance: three combined standard errors plus
+			// a small absolute floor for near-deterministic cases.
+			tol := 3*(san.StdErr()+cyc.StdErr()) + 0.01
+			if abs(diff) > tol {
+				t.Fatalf("engines disagree: SAN %.4f±%.4f vs cycle %.4f±%.4f (diff %.4f > tol %.4f)",
+					san.Mean(), san.StdErr(), cyc.Mean(), cyc.StdErr(), diff, tol)
+			}
+			t.Log(fmt.Sprintf("SAN %.4f vs cycle %.4f (diff %+.4f)", san.Mean(), cyc.Mean(), diff))
+		})
+	}
+}
+
+// TestCrossValidationCounters: event rates (checkpoints, failures) of the
+// two engines must agree on the base configuration.
+func TestCrossValidationCounters(t *testing.T) {
+	cfg := validated()
+	in, err := model.New(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := in.RunSteadyState(0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := New(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := cs.RunSteadyState(0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(a, b uint64) float64 { return float64(a) / float64(b) }
+	if r := ratio(ms.Counters.ComputeFailures, mc.Counters.ComputeFailures); r < 0.9 || r > 1.1 {
+		t.Fatalf("failure counts diverge: SAN %d vs cycle %d", ms.Counters.ComputeFailures, mc.Counters.ComputeFailures)
+	}
+	if r := ratio(ms.Counters.CheckpointsDumped, mc.Counters.CheckpointsDumped); r < 0.9 || r > 1.1 {
+		t.Fatalf("checkpoint counts diverge: SAN %d vs cycle %d", ms.Counters.CheckpointsDumped, mc.Counters.CheckpointsDumped)
+	}
+	if r := ratio(ms.Counters.RecoveryFailures+1, mc.Counters.RecoveryFailures+1); r < 0.8 || r > 1.25 {
+		t.Fatalf("recovery-failure counts diverge: SAN %d vs cycle %d", ms.Counters.RecoveryFailures, mc.Counters.RecoveryFailures)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,405 @@
+// Package cyclesim is an independent second implementation of the paper's
+// checkpointing model: a hand-rolled renewal-process simulator that walks
+// the checkpoint cycle phase by phase (interval → broadcast → coordination
+// → dump → background write) and races each phase against the pooled
+// failure process, with two-stage recovery, reboot thresholds and the
+// permanent-failure extension.
+//
+// It shares no engine code with the SAN executor (internal/san +
+// internal/model): no places, no activities, no event queue. Statistically
+// identical results from both implementations are the repository's
+// strongest correctness evidence; see the cross-validation tests.
+//
+// Scope: the cycle structure assumes a pure-compute application
+// (ComputeFraction == 1), no I/O-node failures (NoIOFailures), no
+// correlated-failure windows and no blocking checkpoint writes; New rejects
+// configurations outside this envelope. All coordination modes, timeouts,
+// stragglers, buffered/durable recovery, reboots, generic correlated rate
+// inflation and permanent failures are supported.
+package cyclesim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+)
+
+// Counters tallies the discrete events of one trajectory, mirroring the
+// SAN model's counters for comparison.
+type Counters struct {
+	ComputeFailures    uint64
+	RecoveryFailures   uint64
+	CheckpointsDumped  uint64
+	CheckpointsWritten uint64
+	CheckpointAborts   uint64
+	Reboots            uint64
+	PermanentFailures  uint64
+}
+
+// Result is the measured outcome of one trajectory.
+type Result struct {
+	UsefulWorkFraction float64
+	TotalUsefulWork    float64
+	Counters           Counters
+}
+
+// Simulator holds one trajectory's state.
+type Simulator struct {
+	cfg cluster.Config
+	src rng.Source
+
+	coord    rng.Dist
+	failMean float64 // mean time between compute-side failures
+
+	t        float64 // current time
+	useful   float64 // net useful work (P − L)
+	capB     float64 // secured by the buffered checkpoint
+	capD     float64 // secured by the durable checkpoint
+	buffered bool    // a checkpoint is buffered at the I/O nodes
+
+	ioBusyUntil  float64 // background FS write completion time
+	pendingWrite bool    // a dumped checkpoint awaits its FS write
+	permanent    bool    // a permanent failure awaits reconfiguration
+
+	warmup       float64
+	marked       bool
+	usefulAtMark float64
+
+	// Completion-time mode: stop once useful work reaches stopTarget.
+	stopTarget float64
+	stopped    bool
+	stopTime   float64
+
+	counters Counters
+}
+
+// New builds a cycle simulator for cfg, rejecting configurations whose
+// dynamics fall outside the renewal-cycle structure this implementation
+// assumes.
+func New(cfg cluster.Config, seed uint64) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cyclesim: %w", err)
+	}
+	switch {
+	case cfg.ComputeFraction != 1:
+		return nil, fmt.Errorf("cyclesim: requires a pure-compute application (ComputeFraction=1, got %v)", cfg.ComputeFraction)
+	case !cfg.NoIOFailures:
+		return nil, fmt.Errorf("cyclesim: requires NoIOFailures (the cycle structure has no I/O-node failure branch)")
+	case cfg.ProbCorrelated > 0:
+		return nil, fmt.Errorf("cyclesim: correlated-failure windows are not supported")
+	case cfg.BlockingCheckpointWrite:
+		return nil, fmt.Errorf("cyclesim: blocking checkpoint writes are not supported")
+	case cfg.IncrementalFraction > 0:
+		return nil, fmt.Errorf("cyclesim: incremental checkpointing is not supported")
+	}
+	rate := cfg.ComputeFailureRate() + cfg.GenericCorrelatedRate()
+	return &Simulator{
+		cfg:      cfg,
+		src:      rng.New(seed),
+		coord:    coordinationDist(cfg),
+		failMean: 1 / rate,
+	}, nil
+}
+
+// coordinationDist mirrors the SAN model's mapping of coordination modes.
+func coordinationDist(cfg cluster.Config) rng.Dist {
+	switch cfg.Coordination {
+	case cluster.CoordNone:
+		return rng.Exponential{MeanValue: cfg.MTTQ}
+	case cluster.CoordMaxOfN:
+		if slow := cfg.StragglerCount(); slow > 0 {
+			return rng.MaxOfGroups{Groups: []rng.MaxOfNExponentials{
+				{N: cfg.Processors - slow, PerNodeMean: cfg.MTTQ},
+				{N: slow, PerNodeMean: cfg.MTTQ * cfg.StragglerMTTQMultiplier},
+			}}
+		}
+		return rng.MaxOfNExponentials{N: cfg.Processors, PerNodeMean: cfg.MTTQ}
+	default:
+		return rng.Deterministic{Value: cfg.MTTQ}
+	}
+}
+
+// RunSteadyState simulates warmup+measure hours and reports the metrics of
+// the measurement window.
+func (s *Simulator) RunSteadyState(warmup, measure float64) (Result, error) {
+	if warmup < 0 || measure <= 0 {
+		return Result{}, fmt.Errorf("cyclesim: invalid window warmup=%v measure=%v", warmup, measure)
+	}
+	s.warmup = warmup
+	horizon := warmup + measure
+	s.run(horizon)
+	frac := (s.useful - s.usefulAtMark) / measure
+	if frac < 0 {
+		frac = 0
+	}
+	return Result{
+		UsefulWorkFraction: frac,
+		TotalUsefulWork:    frac * float64(s.cfg.Processors),
+		Counters:           s.counters,
+	}, nil
+}
+
+// run executes the phase loop to the horizon.
+func (s *Simulator) run(horizon float64) {
+	cfg := s.cfg
+	nextFailure := s.t + s.expFail()
+	cycleStart := s.t // execution + master sleep begin here
+
+	for s.t < horizon {
+		if s.stopped {
+			return
+		}
+		trigger := cycleStart + cfg.CheckpointInterval
+		quiesceAt := trigger + cfg.BroadcastOverhead
+
+		// Execution phase: [cycleStart, quiesceAt), racing the failure.
+		if nextFailure < quiesceAt {
+			if nextFailure >= horizon {
+				s.accrue(cycleStart, horizon)
+				s.t = horizon
+				return
+			}
+			s.accrue(cycleStart, nextFailure)
+			s.t = nextFailure
+			s.handleFailure(horizon)
+			if s.t >= horizon {
+				return
+			}
+			cycleStart = s.t
+			nextFailure = s.t + s.expFail()
+			continue
+		}
+		if quiesceAt >= horizon {
+			s.accrue(cycleStart, horizon)
+			s.t = horizon
+			return
+		}
+		s.accrue(cycleStart, quiesceAt)
+		s.t = quiesceAt
+
+		// Coordination phase (no useful-work accrual while quiesced).
+		y := s.coord.Sample(s.src)
+		var quiesceEnd float64
+		aborted := false
+		if cfg.Timeout > 0 && cfg.BroadcastOverhead+y > cfg.Timeout {
+			aborted = true
+			quiesceEnd = trigger + cfg.Timeout
+		} else {
+			quiesceEnd = quiesceAt + y
+		}
+		if done, next := s.raceNoAccrual(&nextFailure, quiesceEnd, horizon); done {
+			return
+		} else if next {
+			cycleStart = s.t
+			continue
+		}
+		s.t = quiesceEnd
+		if aborted {
+			s.counters.CheckpointAborts++
+			s.mark(s.t)
+			cycleStart = s.t // execution resumes, master sleeps
+			continue
+		}
+
+		// Dump phase: waits for the I/O nodes to finish any background
+		// write, then streams the checkpoint groups in parallel.
+		dumpStart := math.Max(s.t, s.ioBusyUntil)
+		dumpEnd := dumpStart + cfg.CheckpointDumpTime()
+		if done, next := s.raceNoAccrual(&nextFailure, dumpEnd, horizon); done {
+			return
+		} else if next {
+			cycleStart = s.t
+			continue
+		}
+		s.t = dumpEnd
+		s.applyWriteCompletion(s.t)
+		s.counters.CheckpointsDumped++
+		s.capB = s.useful
+		s.buffered = true
+		s.pendingWrite = true
+		s.ioBusyUntil = dumpEnd + cfg.CheckpointFSWriteTime()
+		s.mark(s.t)
+		cycleStart = s.t // execution resumes, master sleeps
+	}
+}
+
+// raceNoAccrual advances through a non-accruing phase ending at phaseEnd,
+// handling a failure if it lands first. It returns (done, failed): done
+// when the horizon was reached, failed when a failure interrupted the phase
+// (the caller restarts its cycle at s.t).
+func (s *Simulator) raceNoAccrual(nextFailure *float64, phaseEnd, horizon float64) (bool, bool) {
+	if *nextFailure < phaseEnd {
+		if *nextFailure >= horizon {
+			s.mark(horizon)
+			s.t = horizon
+			return true, false
+		}
+		s.t = *nextFailure
+		s.handleFailure(horizon)
+		if s.t >= horizon {
+			return true, false
+		}
+		*nextFailure = s.t + s.expFail()
+		return false, true
+	}
+	if phaseEnd >= horizon {
+		s.mark(horizon)
+		s.t = horizon
+		return true, false
+	}
+	s.mark(phaseEnd)
+	return false, false
+}
+
+// handleFailure applies a compute-subsystem failure at s.t and runs the
+// recovery process (stages, recovery failures, reboots) to completion or
+// the horizon.
+func (s *Simulator) handleFailure(horizon float64) {
+	cfg := s.cfg
+	s.applyWriteCompletion(s.t)
+	s.counters.ComputeFailures++
+	if cfg.ProbPermanentFailure > 0 && s.src.Float64() < cfg.ProbPermanentFailure {
+		s.counters.PermanentFailures++
+		s.permanent = true
+	}
+	if cfg.NoBufferedRecovery {
+		s.capB = s.capD
+	}
+	s.useful = s.capB
+
+	consecutive := 0
+	for {
+		if s.t >= horizon {
+			s.mark(horizon)
+			s.t = horizon
+			return
+		}
+		// Stage 1: the I/O nodes read the durable checkpoint from the
+		// file system — skipped while a buffered copy is usable.
+		if !s.buffered || cfg.NoBufferedRecovery {
+			end := s.t + cfg.CheckpointFSReadTime()
+			if failed := s.recoveryStep(&consecutive, end, horizon); failed {
+				continue
+			}
+			if s.t >= horizon {
+				return
+			}
+			s.buffered = true
+			s.capB = s.capD
+		}
+		// Stage 2: compute nodes read from the I/O nodes and
+		// reinitialise; permanent failures add the reconfiguration.
+		dur := rng.Exponential{MeanValue: cfg.MTTR}.Sample(s.src)
+		if s.permanent {
+			dur += cfg.ReconfigurationTime
+		}
+		end := s.t + dur
+		if failed := s.recoveryStep(&consecutive, end, horizon); failed {
+			continue
+		}
+		if s.t >= horizon {
+			return
+		}
+		s.permanent = false
+		return // successful recovery
+	}
+}
+
+// recoveryStep runs one recovery stage ending at end, racing it against
+// recovery failures and handling the severe-failure reboot. It returns
+// true when the stage was interrupted and recovery must restart.
+func (s *Simulator) recoveryStep(consecutive *int, end, horizon float64) bool {
+	cfg := s.cfg
+	rf := s.t + s.expFail()
+	if rf >= end {
+		if end >= horizon {
+			s.mark(horizon)
+			s.t = horizon
+			return false
+		}
+		s.mark(end)
+		s.t = end
+		s.applyWriteCompletion(s.t)
+		return false
+	}
+	if rf >= horizon {
+		s.mark(horizon)
+		s.t = horizon
+		return false
+	}
+	s.mark(rf)
+	s.t = rf
+	s.applyWriteCompletion(s.t)
+	s.counters.RecoveryFailures++
+	*consecutive++
+	if *consecutive >= cfg.SevereFailureThreshold {
+		s.reboot(horizon)
+		*consecutive = 0
+	}
+	return true
+}
+
+// reboot applies the whole-system reboot: the I/O buffers and any pending
+// background write are lost, and the machine is down for the reboot time.
+func (s *Simulator) reboot(horizon float64) {
+	s.counters.Reboots++
+	s.pendingWrite = false
+	s.buffered = false
+	s.capB = s.capD
+	s.permanent = false
+	end := s.t + s.cfg.RebootTime
+	if end >= horizon {
+		s.mark(horizon)
+		s.t = horizon
+		return
+	}
+	s.mark(end)
+	s.t = end
+	s.ioBusyUntil = s.t
+}
+
+// applyWriteCompletion makes the durable checkpoint catch up when the
+// background FS write finished at or before now.
+func (s *Simulator) applyWriteCompletion(now float64) {
+	if s.pendingWrite && s.ioBusyUntil <= now {
+		s.pendingWrite = false
+		s.capD = s.capB
+		s.counters.CheckpointsWritten++
+	}
+}
+
+// accrue adds useful work for an execution span [from, to), records the
+// warmup-boundary snapshot when the span crosses it, and detects job
+// completion in completion-time mode.
+func (s *Simulator) accrue(from, to float64) {
+	if to <= from {
+		return
+	}
+	if !s.marked && s.warmup <= to {
+		boundary := math.Max(s.warmup, from)
+		s.usefulAtMark = s.useful + (boundary - from)
+		s.marked = true
+	}
+	if s.stopTarget > 0 && !s.stopped && s.useful+(to-from) >= s.stopTarget {
+		s.stopTime = from + (s.stopTarget - s.useful)
+		s.stopped = true
+		s.useful = s.stopTarget
+		return
+	}
+	s.useful += to - from
+}
+
+// mark records the warmup snapshot during non-accruing time.
+func (s *Simulator) mark(now float64) {
+	if !s.marked && now >= s.warmup {
+		s.usefulAtMark = s.useful
+		s.marked = true
+	}
+}
+
+// expFail samples the next compute-side failure gap.
+func (s *Simulator) expFail() float64 {
+	return rng.Exponential{MeanValue: s.failMean}.Sample(s.src)
+}

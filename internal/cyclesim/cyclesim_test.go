@@ -1,0 +1,185 @@
+package cyclesim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// validated returns a base config inside the cyclesim envelope.
+func validated() cluster.Config {
+	cfg := cluster.Default()
+	cfg.ComputeFraction = 1
+	cfg.NoIOFailures = true
+	return cfg
+}
+
+func TestNewRejectsUnsupported(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*cluster.Config)
+	}{
+		{"app io", func(c *cluster.Config) { c.ComputeFraction = 0.95 }},
+		{"io failures", func(c *cluster.Config) { c.NoIOFailures = false }},
+		{"correlated", func(c *cluster.Config) { c.ProbCorrelated = 0.1; c.CorrelatedFactor = 400 }},
+		{"blocking write", func(c *cluster.Config) { c.BlockingCheckpointWrite = true }},
+		{"invalid", func(c *cluster.Config) { c.Processors = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := validated()
+			c.mut(&cfg)
+			if _, err := New(cfg, 1); err == nil {
+				t.Fatal("unsupported config accepted")
+			}
+		})
+	}
+}
+
+func TestRunWindowValidation(t *testing.T) {
+	s, err := New(validated(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunSteadyState(-1, 10); err == nil {
+		t.Error("negative warmup accepted")
+	}
+	if _, err := s.RunSteadyState(0, 0); err == nil {
+		t.Error("zero measure accepted")
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	cfg := validated()
+	run := func(seed uint64) Result {
+		s, err := New(cfg, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.RunSteadyState(200, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(5), run(5)
+	if a.UsefulWorkFraction != b.UsefulWorkFraction || a.Counters != b.Counters {
+		t.Fatal("same seed diverged")
+	}
+	if c := run(6); c.UsefulWorkFraction == a.UsefulWorkFraction {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestFailureFreeOverhead(t *testing.T) {
+	cfg := validated()
+	cfg.MTTFPerNode = cluster.Years(1e9)
+	s, err := New(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RunSteadyState(100, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := cfg.CheckpointInterval
+	want := interval / (interval + cfg.MTTQ + cfg.CheckpointDumpTime())
+	if math.Abs(r.UsefulWorkFraction-want) > 0.002 {
+		t.Fatalf("failure-free fraction %v, want ≈%v", r.UsefulWorkFraction, want)
+	}
+	if r.Counters.ComputeFailures != 0 || r.Counters.Reboots != 0 {
+		t.Fatalf("phantom failures: %+v", r.Counters)
+	}
+	if r.Counters.CheckpointsDumped == 0 ||
+		r.Counters.CheckpointsWritten > r.Counters.CheckpointsDumped {
+		t.Fatalf("checkpoint counters wrong: %+v", r.Counters)
+	}
+}
+
+func TestTimeoutAbortsEverything(t *testing.T) {
+	cfg := validated()
+	cfg.MTTFPerNode = cluster.Years(1e9)
+	cfg.Coordination = cluster.CoordMaxOfN
+	cfg.Timeout = cluster.Seconds(20) // E[Y] ≈ 117 s at 64K procs
+	s, err := New(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RunSteadyState(50, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counters.CheckpointAborts == 0 {
+		t.Fatal("no aborts with suicidal timeout")
+	}
+	if r.Counters.CheckpointsDumped > r.Counters.CheckpointAborts/10 {
+		t.Fatalf("expected nearly all aborts: %+v", r.Counters)
+	}
+}
+
+func TestRebootPath(t *testing.T) {
+	cfg := validated()
+	cfg.MTTFPerNode = cluster.Years(0.125)
+	cfg.SevereFailureThreshold = 2
+	s, err := New(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RunSteadyState(100, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counters.Reboots == 0 {
+		t.Fatalf("no reboots on stressed system with threshold 2: %+v", r.Counters)
+	}
+	if r.UsefulWorkFraction <= 0 || r.UsefulWorkFraction >= 1 {
+		t.Fatalf("fraction = %v", r.UsefulWorkFraction)
+	}
+}
+
+func TestPermanentFailuresCounted(t *testing.T) {
+	cfg := validated()
+	cfg.ProbPermanentFailure = 0.5
+	cfg.ReconfigurationTime = cluster.Minutes(30)
+	s, err := New(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.RunSteadyState(200, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counters.PermanentFailures == 0 {
+		t.Fatal("no permanent failures at p=0.5")
+	}
+	ratio := float64(r.Counters.PermanentFailures) / float64(r.Counters.ComputeFailures)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("permanent ratio = %v", ratio)
+	}
+}
+
+func TestStragglersSlowCoordination(t *testing.T) {
+	base := validated()
+	base.MTTFPerNode = cluster.Years(1e9)
+	base.Coordination = cluster.CoordMaxOfN
+
+	slow := base
+	slow.StragglerFraction = 0.01
+	slow.StragglerMTTQMultiplier = 20
+
+	run := func(cfg cluster.Config) float64 {
+		s, err := New(cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.RunSteadyState(50, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.UsefulWorkFraction
+	}
+	if fS, fB := run(slow), run(base); fS >= fB {
+		t.Fatalf("stragglers did not slow coordination: %v vs %v", fS, fB)
+	}
+}

@@ -1,0 +1,153 @@
+// Package des implements the discrete-event simulation core: a simulation
+// clock and a cancellable future-event list with deterministic tie-breaking.
+// Higher layers (the SAN executor in internal/san and the message-level
+// protocol simulator in internal/protocol) schedule closures here.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the code executed when an event fires. It receives the engine
+// so it can schedule further events.
+type Handler func(e *Engine)
+
+// Event is a scheduled occurrence. Events are created by Engine.Schedule
+// and may be cancelled until they fire.
+type Event struct {
+	Time    float64
+	Name    string
+	handler Handler
+	seq     uint64 // FIFO tie-break for simultaneous events
+	index   int    // heap index; -1 when not queued
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (ev *Event) Cancelled() bool { return ev.index == -1 && ev.handler == nil }
+
+// Engine is a sequential discrete-event simulator. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now     float64
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far (useful for progress
+// reporting and runaway detection in tests).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues handler to run at absolute time t. Scheduling in the
+// past (t < Now) panics: it is always a model bug, and silently clamping
+// would corrupt causality. Events at identical times fire in scheduling
+// order.
+func (e *Engine) Schedule(t float64, name string, handler Handler) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling %q at %v before now %v", name, t, e.now))
+	}
+	if math.IsNaN(t) {
+		panic(fmt.Sprintf("des: scheduling %q at NaN", name))
+	}
+	ev := &Event{Time: t, Name: name, handler: handler, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter enqueues handler to run delay time units from now.
+func (e *Engine) ScheduleAfter(delay float64, name string, handler Handler) *Event {
+	return e.Schedule(e.now+delay, name, handler)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a harmless no-op, which keeps caller bookkeeping
+// simple.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.handler = nil
+}
+
+// Step fires the next event, advancing the clock, and reports whether an
+// event was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.Time
+	h := ev.handler
+	ev.handler = nil
+	e.fired++
+	h(e)
+	return true
+}
+
+// RunUntil executes events until the clock would pass horizon or the queue
+// empties. The clock is left at min(horizon, last event time); events
+// scheduled beyond the horizon remain queued.
+func (e *Engine) RunUntil(horizon float64) {
+	for len(e.queue) > 0 && e.queue[0].Time <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// eventQueue is a binary min-heap ordered by (Time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].Time != q[j].Time {
+		return q[i].Time < q[j].Time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,191 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		e.Schedule(tm, "ev", func(e *Engine) { fired = append(fired, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if e.Fired() != 5 {
+		t.Fatalf("Fired() = %d", e.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, "tie", func(e *Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.Schedule(2.5, "a", func(e *Engine) {
+		if e.Now() != 2.5 {
+			t.Errorf("now = %v inside event at 2.5", e.Now())
+		}
+		e.ScheduleAfter(1.5, "b", func(e *Engine) {
+			if e.Now() != 4.0 {
+				t.Errorf("now = %v, want 4.0", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if e.Now() != 4.0 {
+		t.Fatalf("final now = %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	firedA := false
+	ev := e.Schedule(1, "a", func(e *Engine) { firedA = true })
+	e.Schedule(2, "b", func(e *Engine) {})
+	e.Cancel(ev)
+	e.Run()
+	if firedA {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event does not report cancelled")
+	}
+	// Double cancel and nil cancel must be no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var fired []string
+	evs := make([]*Event, 0, 20)
+	for i := 0; i < 20; i++ {
+		name := string(rune('a' + i))
+		evs = append(evs, e.Schedule(float64(i), name, func(e *Engine) { fired = append(fired, name) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	if len(fired) != 13 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+	for _, name := range fired {
+		idx := int(name[0] - 'a')
+		if idx%3 == 0 {
+			t.Fatalf("cancelled event %q fired", name)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, "a", func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(4, "past", func(e *Engine) {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), "tick", func(e *Engine) { count++ })
+	}
+	e.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("fired %d events before horizon, want 5", count)
+	}
+	if e.Now() != 5.5 {
+		t.Fatalf("now = %v, want 5.5", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.RunUntil(100)
+	if count != 10 {
+		t.Fatalf("fired %d total, want 10", count)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	e := New()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("now = %v, want 42", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	depth := 0
+	var recurse func(e *Engine)
+	recurse = func(e *Engine) {
+		depth++
+		if depth < 100 {
+			e.ScheduleAfter(0.1, "r", recurse)
+		}
+	}
+	e.Schedule(0, "start", recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+}
+
+// TestHeapProperty uses testing/quick to confirm ordering holds for random
+// schedules with random cancellations.
+func TestHeapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		e := New()
+		var fired []float64
+		var evs []*Event
+		n := src.Intn(200) + 1
+		for i := 0; i < n; i++ {
+			tm := src.Float64() * 100
+			evs = append(evs, e.Schedule(tm, "x", func(e *Engine) { fired = append(fired, e.Now()) }))
+		}
+		cancelled := 0
+		for _, ev := range evs {
+			if src.Float64() < 0.3 {
+				e.Cancel(ev)
+				cancelled++
+			}
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == n-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

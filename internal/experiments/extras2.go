@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/cluster"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// ExtraStragglers quantifies quiesce-time heterogeneity, which the paper's
+// i.i.d. assumption (§7.2) excludes: a small population of slow-quiescing
+// processors stretches the coordination tail and, with a timeout, turns
+// into checkpoint aborts. Series: useful-work fraction vs processors for
+// increasing straggler severity (no failures, to isolate coordination,
+// like Figure 5).
+func ExtraStragglers(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "xstragglers",
+		Title:  "Straggler quiesce heterogeneity (coordination only, interval=30min, MTTQ=10s)",
+		XLabel: "processors",
+		YLabel: "useful work fraction",
+	}
+	base := coordOnlyConfig()
+	xs := floats(procSweep)
+	variants := []struct {
+		name     string
+		fraction float64
+		mult     float64
+	}{
+		{"homogeneous", 0, 0},
+		{"1% stragglers 10x", 0.01, 10},
+		{"1% stragglers 100x", 0.01, 100},
+		{"10% stragglers 10x", 0.10, 10},
+	}
+	for _, v := range variants {
+		v := v
+		s, err := sweep(base, v.name, xs,
+			func(cfg *cluster.Config, x float64) {
+				cfg.ProcsPerNode = 1
+				cfg.Processors = int(x)
+				cfg.StragglerFraction = v.fraction
+				cfg.StragglerMTTQMultiplier = v.mult
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// ExtraModelError contrasts the full simulation against the classic
+// analytic chain the paper argues is insufficient at scale: Young/Daly-
+// style efficiency (no coordination) and the renewal coordination model.
+// The growing gap of the classic model at large machine sizes is the
+// paper's thesis in one figure.
+func ExtraModelError(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "xmodelerror",
+		Title:  "Simulated vs analytic useful-work fraction (MTTF=3yr, interval=30min, max-of-n coordination)",
+		XLabel: "processors",
+		YLabel: "useful work fraction",
+	}
+	base := cluster.Default()
+	base.MTTFPerNode = cluster.Years(3)
+	base.Coordination = cluster.CoordMaxOfN
+
+	xs := floats(procSweep)
+	simulated, err := sweep(base, "simulated (SAN)", xs,
+		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, simulated)
+
+	classic := Series{Name: "classic (no coordination)"}
+	renewal := Series{Name: "renewal (with coordination)"}
+	for _, x := range xs {
+		cfg := base
+		cfg.Processors = int(x)
+		mtbf, err := analytic.SystemMTBF(cfg.Nodes(), cfg.MTTFPerNode)
+		if err != nil {
+			return nil, err
+		}
+		overhead := cfg.MTTQ + cfg.CheckpointDumpTime()
+		eff, err := analytic.Efficiency(cfg.CheckpointInterval, overhead, cfg.MTTR, mtbf)
+		if err != nil {
+			return nil, err
+		}
+		classic.Points = append(classic.Points, analyticPoint(x, eff, cfg.Processors))
+
+		reff, _, err := analytic.CoordinationEfficiency(cfg.Processors, cfg.MTTQ, cfg.Timeout,
+			cfg.CheckpointInterval, cfg.CheckpointDumpTime(), cfg.MTTR, mtbf)
+		if err != nil {
+			return nil, err
+		}
+		renewal.Points = append(renewal.Points, analyticPoint(x, reff, cfg.Processors))
+	}
+	fig.Series = append(fig.Series, classic, renewal)
+	return fig, nil
+}
+
+// analyticPoint wraps a closed-form value as a zero-width interval point.
+func analyticPoint(x, fraction float64, procs int) Point {
+	return Point{
+		X:        x,
+		Fraction: stats.Interval{Mean: fraction, Level: 1, N: 1},
+		Total:    stats.Interval{Mean: fraction * float64(procs), Level: 1, N: 1},
+	}
+}
+
+// extras2Defs returns the second batch of beyond-the-paper experiments;
+// merged by Extras.
+func extras2Defs() []Def {
+	return []Def{
+		{
+			ID: "xstragglers", Title: "Straggler quiesce heterogeneity",
+			ShapeClaim: "small slow populations dominate the coordination tail",
+			Run:        ExtraStragglers,
+		},
+		{
+			ID: "xmodelerror", Title: "Simulated vs analytic fraction",
+			ShapeClaim: "classic no-coordination models overestimate at scale; the renewal model tracks",
+			Run:        ExtraModelError,
+		},
+	}
+}

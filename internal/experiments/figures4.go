@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/runner"
+)
+
+// procSweep is the x axis of Figures 4a/c/e: 8K–256K processors.
+var procSweep = []int{8192, 16384, 32768, 65536, 131072, 262144}
+
+// intervalSweepMinutes is the x axis of Figures 4b/d/f: 15 min–4 h.
+var intervalSweepMinutes = []float64{15, 30, 60, 120, 240}
+
+// baseConfig is the Section 7.1 base model: fixed quiesce time, no
+// timeout, independent failures only.
+func baseConfig() cluster.Config {
+	cfg := cluster.Default()
+	cfg.Coordination = cluster.CoordFixed
+	cfg.Timeout = 0
+	return cfg
+}
+
+// cell estimates one configuration and converts it to a Point.
+func cell(cfg cluster.Config, x float64, opts runner.Options) (Point, error) {
+	res, err := runner.Estimate(cfg, opts)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{X: x, Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork}, nil
+}
+
+// sweep runs one series over a list of x values, deriving each cell's
+// config from the base via mutate. Seeds are decorrelated per cell.
+func sweep(base cluster.Config, name string, xs []float64,
+	mutate func(cfg *cluster.Config, x float64), opts runner.Options) (Series, error) {
+	s := Series{Name: name, Points: make([]Point, 0, len(xs))}
+	for i, x := range xs {
+		cfg := base
+		mutate(&cfg, x)
+		o := opts
+		o.Seed = opts.Seed*1000003 + uint64(i)*7919 + hashName(name)
+		p, err := cell(cfg, x, o)
+		if err != nil {
+			return Series{}, fmt.Errorf("experiments: series %s x=%v: %w", name, x, err)
+		}
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}
+
+// hashName derives a stable seed component from a series name.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func floats(ints []int) []float64 {
+	out := make([]float64, len(ints))
+	for i, v := range ints {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Fig4a: total useful work vs number of processors for MTTF ∈
+// {0.125, 0.25, 0.5, 1, 2} years (MTTR 10 min, interval 30 min).
+func Fig4a(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4a",
+		Title:  "Useful work vs processors for different MTTFs (MTTR=10min, interval=30min)",
+		XLabel: "processors",
+		YLabel: "total useful work",
+	}
+	for _, mttf := range []float64{0.125, 0.25, 0.5, 1, 2} {
+		mttf := mttf
+		s, err := sweep(baseConfig(), fmt.Sprintf("MTTF=%gyr", mttf), floats(procSweep),
+			func(cfg *cluster.Config, x float64) {
+				cfg.Processors = int(x)
+				cfg.MTTFPerNode = cluster.Years(mttf)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4b: total useful work vs checkpoint interval for each processor count
+// (MTTF 1 yr, MTTR 10 min).
+func Fig4b(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4b",
+		Title:  "Useful work vs checkpoint interval for different processor counts (MTTF=1yr, MTTR=10min)",
+		XLabel: "interval (min)",
+		YLabel: "total useful work",
+	}
+	for _, procs := range procSweep {
+		procs := procs
+		s, err := sweep(baseConfig(), fmt.Sprintf("procs=%d", procs), intervalSweepMinutes,
+			func(cfg *cluster.Config, x float64) {
+				cfg.Processors = procs
+				cfg.CheckpointInterval = cluster.Minutes(x)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4c: total useful work vs processors for MTTR ∈ {10,20,40,80} min
+// (MTTF 1 yr, interval 30 min).
+func Fig4c(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4c",
+		Title:  "Useful work vs processors for different MTTRs (MTTF=1yr, interval=30min)",
+		XLabel: "processors",
+		YLabel: "total useful work",
+	}
+	for _, mttr := range []float64{10, 20, 40, 80} {
+		mttr := mttr
+		s, err := sweep(baseConfig(), fmt.Sprintf("MTTR=%gmin", mttr), floats(procSweep),
+			func(cfg *cluster.Config, x float64) {
+				cfg.Processors = int(x)
+				cfg.MTTR = cluster.Minutes(mttr)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4d: total useful work vs interval for each MTTR (MTTF 1 yr, 64K
+// processors).
+func Fig4d(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4d",
+		Title:  "Useful work vs checkpoint interval for different MTTRs (MTTF=1yr, procs=64K)",
+		XLabel: "interval (min)",
+		YLabel: "total useful work",
+	}
+	for _, mttr := range []float64{10, 20, 40, 80} {
+		mttr := mttr
+		s, err := sweep(baseConfig(), fmt.Sprintf("MTTR=%gmin", mttr), intervalSweepMinutes,
+			func(cfg *cluster.Config, x float64) {
+				cfg.MTTR = cluster.Minutes(mttr)
+				cfg.CheckpointInterval = cluster.Minutes(x)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4e: total useful work vs processors for interval ∈ {15,30,60,120,240}
+// min (MTTF 1 yr, MTTR 10 min).
+func Fig4e(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4e",
+		Title:  "Useful work vs processors for different checkpoint intervals (MTTF=1yr, MTTR=10min)",
+		XLabel: "processors",
+		YLabel: "total useful work",
+	}
+	for _, iv := range intervalSweepMinutes {
+		iv := iv
+		s, err := sweep(baseConfig(), fmt.Sprintf("interval=%gmin", iv), floats(procSweep),
+			func(cfg *cluster.Config, x float64) {
+				cfg.Processors = int(x)
+				cfg.CheckpointInterval = cluster.Minutes(iv)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4f: total useful work vs interval for MTTF ∈ {1,2,4,8,16} yr (MTTR
+// 10 min, 64K processors).
+func Fig4f(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4f",
+		Title:  "Useful work vs checkpoint interval for different MTTFs (MTTR=10min, procs=64K)",
+		XLabel: "interval (min)",
+		YLabel: "total useful work",
+	}
+	for _, mttf := range []float64{1, 2, 4, 8, 16} {
+		mttf := mttf
+		s, err := sweep(baseConfig(), fmt.Sprintf("MTTF=%gyr", mttf), intervalSweepMinutes,
+			func(cfg *cluster.Config, x float64) {
+				cfg.MTTFPerNode = cluster.Years(mttf)
+				cfg.CheckpointInterval = cluster.Minutes(x)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4g: total useful work vs number of nodes at 32 processors/node for
+// MTTF ∈ {1,2} yr (the 1000K-processor study of Section 7.1).
+func Fig4g(opts runner.Options) (*Figure, error) {
+	return figNodes("fig4g", 32, []float64{8192, 16384, 32768}, opts)
+}
+
+// Fig4h: same as Fig4g with 16 processors/node.
+func Fig4h(opts runner.Options) (*Figure, error) {
+	return figNodes("fig4h", 16, []float64{8192, 16384, 32768, 65536}, opts)
+}
+
+func figNodes(id string, procsPerNode int, nodeSweep []float64, opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("Useful work vs number of nodes, %d processors/node", procsPerNode),
+		XLabel: "nodes",
+		YLabel: "total useful work",
+	}
+	for _, mttf := range []float64{1, 2} {
+		mttf := mttf
+		s, err := sweep(baseConfig(), fmt.Sprintf("MTTF=%gyr", mttf), nodeSweep,
+			func(cfg *cluster.Config, x float64) {
+				cfg.ProcsPerNode = procsPerNode
+				cfg.Processors = int(x) * procsPerNode
+				cfg.MTTFPerNode = cluster.Years(mttf)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/runner"
+)
+
+// Fig5: effect of pure coordination on the useful-work fraction — no
+// failures, no timeout, max-of-n quiesce times, MTTQ ∈ {0.5, 2, 10} s,
+// processors from 1 to ~10^9 (Section 7.2, Figure 5).
+func Fig5(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Useful work fraction with coordination only (interval=30min, no timeouts or failures)",
+		XLabel: "processors",
+		YLabel: "useful work fraction",
+	}
+	// Power-of-4 ladder like the paper's x axis: 1 … 2^30.
+	var procs []float64
+	for p := 1; p <= 1<<30; p *= 4 {
+		procs = append(procs, float64(p))
+	}
+	for _, mttqSec := range []float64{10, 2, 0.5} {
+		mttqSec := mttqSec
+		s, err := sweep(coordOnlyConfig(), fmt.Sprintf("MTTQ=%gs", mttqSec), procs,
+			func(cfg *cluster.Config, x float64) {
+				cfg.ProcsPerNode = 1 // any count divides; x axis is processors
+				cfg.Processors = int(x)
+				cfg.MTTQ = cluster.Seconds(mttqSec)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// coordOnlyConfig disables failures to isolate coordination (Figure 5).
+func coordOnlyConfig() cluster.Config {
+	cfg := cluster.Default()
+	cfg.Coordination = cluster.CoordMaxOfN
+	cfg.Timeout = 0
+	cfg.MTTFPerNode = cluster.Years(1e12)
+	return cfg
+}
+
+// Fig6: coordination and timeout with failures — useful-work fraction vs
+// processors for timeout ∈ {20,40,60,80,100,120} s, no timeout, and the
+// no-coordination baseline (MTTF 3 yr, interval 30 min, MTTQ 10 s).
+func Fig6(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Useful work fraction with coordination and timeout (MTTF=3yr, interval=30min, MTTQ=10s)",
+		XLabel: "processors",
+		YLabel: "useful work fraction",
+	}
+	base := cluster.Default()
+	base.MTTFPerNode = cluster.Years(3)
+	base.MTTQ = cluster.Seconds(10)
+
+	xs := floats(procSweep)
+
+	noCoord := base
+	noCoord.Coordination = cluster.CoordNone
+	s, err := sweep(noCoord, "no coordination", xs,
+		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, s)
+
+	coord := base
+	coord.Coordination = cluster.CoordMaxOfN
+	s, err = sweep(coord, "no timeout", xs,
+		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, s)
+
+	for _, timeoutSec := range []float64{120, 100, 80, 60, 40, 20} {
+		timeoutSec := timeoutSec
+		s, err := sweep(coord, fmt.Sprintf("timeout=%gs", timeoutSec), xs,
+			func(cfg *cluster.Config, x float64) {
+				cfg.Processors = int(x)
+				cfg.Timeout = cluster.Seconds(timeoutSec)
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig7: correlated failures due to error propagation — useful-work
+// fraction vs p_e for r ∈ {400, 800, 1600} (MTTF 3 yr, 256K processors,
+// window 3 min).
+func Fig7(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig7",
+		Title:  "Useful work fraction vs probability of correlated failure (MTTF=3yr, procs=256K, window=3min)",
+		XLabel: "prob of correlated failure",
+		YLabel: "useful work fraction",
+	}
+	base := cluster.Default()
+	base.Processors = 256 * 1024
+	base.MTTFPerNode = cluster.Years(3)
+	pes := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	for _, r := range []float64{400, 800, 1600} {
+		r := r
+		s, err := sweep(base, fmt.Sprintf("r=%g", r), pes,
+			func(cfg *cluster.Config, x float64) {
+				cfg.ProbCorrelated = x
+				if x > 0 {
+					cfg.CorrelatedFactor = r
+				}
+			}, opts)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig8: generic correlated failures — useful-work fraction vs processors
+// with and without the generic correlated stream (r=400, α=0.0025, MTTF
+// 3 yr); the correlated case doubles the system failure rate.
+func Fig8(opts runner.Options) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig8",
+		Title:  "Useful work fraction with generic correlated failures (MTTF=3yr, r=400, alpha=0.0025, interval=30min)",
+		XLabel: "processors",
+		YLabel: "useful work fraction",
+	}
+	base := cluster.Default()
+	base.MTTFPerNode = cluster.Years(3)
+	xs := floats(procSweep)
+
+	s, err := sweep(base, "without correlated failure", xs,
+		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, s)
+
+	with := base
+	with.CorrelatedFactor = 400
+	with.GenericCorrelatedCoefficient = 0.0025
+	s, err = sweep(with, "with correlated failure", xs,
+		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = append(fig.Series, s)
+	return fig, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/runner"
+)
+
+// Def describes one runnable experiment.
+type Def struct {
+	ID    string
+	Title string
+	// ShapeClaim is the paper's qualitative claim the reproduction must
+	// preserve (DESIGN.md §4).
+	ShapeClaim string
+	Run        func(runner.Options) (*Figure, error)
+}
+
+// All returns every figure experiment, sorted by ID.
+func All() []Def {
+	defs := []Def{
+		{
+			ID: "fig4a", Title: "Useful work vs processors for different MTTFs",
+			ShapeClaim: "interior optimum processor count; optimum shrinks with MTTF",
+			Run:        Fig4a,
+		},
+		{
+			ID: "fig4b", Title: "Useful work vs interval for different processor counts",
+			ShapeClaim: "no optimum interval in 15min-4h; monotone decrease, flat 15-30min",
+			Run:        Fig4b,
+		},
+		{
+			ID: "fig4c", Title: "Useful work vs processors for different MTTRs",
+			ShapeClaim: "optimum processor count decreases with MTTR",
+			Run:        Fig4c,
+		},
+		{
+			ID: "fig4d", Title: "Useful work vs interval for different MTTRs",
+			ShapeClaim: "monotone decrease in interval; smaller MTTR dominates",
+			Run:        Fig4d,
+		},
+		{
+			ID: "fig4e", Title: "Useful work vs processors for different intervals",
+			ShapeClaim: "optimum processor count decreases with interval",
+			Run:        Fig4e,
+		},
+		{
+			ID: "fig4f", Title: "Useful work vs interval for different MTTFs",
+			ShapeClaim: "small drop 15→30min, sharp drop beyond 30min",
+			Run:        Fig4f,
+		},
+		{
+			ID: "fig4g", Title: "Useful work vs nodes at 32 processors/node",
+			ShapeClaim: "more processors per node at equal node count raises total useful work",
+			Run:        Fig4g,
+		},
+		{
+			ID: "fig4h", Title: "Useful work vs nodes at 16 processors/node",
+			ShapeClaim: "optimum node count grows with MTTF",
+			Run:        Fig4h,
+		},
+		{
+			ID: "fig5", Title: "Coordination-only useful work fraction",
+			ShapeClaim: "degradation logarithmic in processors, proportional to MTTQ",
+			Run:        Fig5,
+		},
+		{
+			ID: "fig6", Title: "Coordination and timeout with failures",
+			ShapeClaim: "timeouts ≤80s collapse the fraction; ≥100s close to no-timeout",
+			Run:        Fig6,
+		},
+		{
+			ID: "fig7", Title: "Correlated failures due to error propagation",
+			ShapeClaim: "fraction nearly flat in pe and r",
+			Run:        Fig7,
+		},
+		{
+			ID: "fig8", Title: "Generic correlated failures",
+			ShapeClaim: "large degradation that grows with processor count",
+			Run:        Fig8,
+		},
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].ID < defs[j].ID })
+	return defs
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Def, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Def{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,106 @@
+// Package failure implements the failure-process mathematics of Sections
+// 3.5 and 6 of the paper: independent Poisson failures, correlated failures
+// due to error propagation (the birth–death analysis relating the
+// conditional probability p of a follow-on failure to the rate multiplier
+// r, "frate_correlated_factor"), and generic correlated failures
+// (λs = nλ(1+αr)).
+package failure
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// FactorFromConditionalProb computes the frate_correlated_factor r from the
+// birth–death model of Section 6 / Figure 3:
+//
+//	p = λc/(λc+µ)          (conditional probability of a follow-on failure)
+//	λc = λi + r·n·λ = n·λ·(1+r)
+//	⇒ r = p·µ/((1-p)·n·λ) − 1
+//
+// where n is the node count, λ the per-node independent failure rate and µ
+// the recovery rate. The paper's example: n=1024, p=0.3, MTTR=10 min,
+// MTTF=25 yr gives r ≈ 600.
+func FactorFromConditionalProb(p float64, n int, perNodeRate, recoveryRate float64) (float64, error) {
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("failure: conditional probability %v outside [0,1)", p)
+	}
+	if n <= 0 || perNodeRate <= 0 || recoveryRate <= 0 {
+		return 0, fmt.Errorf("failure: n=%d, rate=%v, recovery=%v must all be positive", n, perNodeRate, recoveryRate)
+	}
+	return p*recoveryRate/((1-p)*float64(n)*perNodeRate) - 1, nil
+}
+
+// ConditionalProbFromFactor inverts FactorFromConditionalProb:
+//
+//	λc = n·λ·(1+r),  p = λc/(λc+µ).
+func ConditionalProbFromFactor(r float64, n int, perNodeRate, recoveryRate float64) (float64, error) {
+	if r < 0 {
+		return 0, fmt.Errorf("failure: factor %v must be non-negative", r)
+	}
+	if n <= 0 || perNodeRate <= 0 || recoveryRate <= 0 {
+		return 0, fmt.Errorf("failure: n=%d, rate=%v, recovery=%v must all be positive", n, perNodeRate, recoveryRate)
+	}
+	lambdaC := float64(n) * perNodeRate * (1 + r)
+	return lambdaC / (lambdaC + recoveryRate), nil
+}
+
+// GenericSystemRate returns the total system failure rate under generic
+// correlated failures, λs = λsi + λsc = nλ + αrnλ = nλ(1+αr) (Section 6,
+// Table 2). With the paper's r=400 and α=0.0025 the rate doubles.
+func GenericSystemRate(n int, perNodeRate, alpha, r float64) float64 {
+	return float64(n) * perNodeRate * (1 + alpha*r)
+}
+
+// Process is a (possibly rate-modulated) Poisson failure source used by the
+// message-level protocol simulator. BaseRate is the unmodulated event rate;
+// the current rate is BaseRate×multiplier, switchable at any time thanks to
+// the memorylessness of the exponential.
+type Process struct {
+	BaseRate   float64
+	multiplier float64
+	src        rng.Source
+}
+
+// NewProcess returns a failure process with multiplier 1.
+func NewProcess(baseRate float64, src rng.Source) (*Process, error) {
+	if baseRate < 0 {
+		return nil, fmt.Errorf("failure: negative base rate %v", baseRate)
+	}
+	return &Process{BaseRate: baseRate, multiplier: 1, src: src}, nil
+}
+
+// SetMultiplier changes the rate multiplier (e.g. entering/leaving a
+// correlated-failure window). Because the exponential is memoryless the
+// caller simply resamples the next arrival after switching.
+func (p *Process) SetMultiplier(m float64) {
+	if m < 0 {
+		m = 0
+	}
+	p.multiplier = m
+}
+
+// Multiplier returns the current rate multiplier.
+func (p *Process) Multiplier() float64 { return p.multiplier }
+
+// Rate returns the current effective rate.
+func (p *Process) Rate() float64 { return p.BaseRate * p.multiplier }
+
+// NextArrival samples the time until the next failure at the current rate;
+// +Inf when the effective rate is zero.
+func (p *Process) NextArrival() float64 {
+	rate := p.Rate()
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return rng.Exponential{MeanValue: 1 / rate}.Sample(p.src)
+}
+
+// ExpectedFailuresDuring returns the expected number of failures in a
+// window of the given length at the current rate — used by tests and by
+// capacity-planning examples.
+func (p *Process) ExpectedFailuresDuring(window float64) float64 {
+	return p.Rate() * window
+}

@@ -1,0 +1,179 @@
+// Package markov provides a small continuous-time Markov chain (CTMC)
+// solver — steady-state distribution by direct Gaussian elimination — and
+// a builder for the paper's Figure 3 birth–death process of correlated
+// failures. Solving that chain numerically validates the closed-form
+// relations of Section 6 (p = λc/(λc+µ), r = pµ/((1−p)nλ) − 1) and yields
+// availability-style measures the simulation can be checked against.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chain is a CTMC given by its generator: Rate[i][j] is the transition
+// rate from state i to state j (i ≠ j); diagonal entries are ignored and
+// derived as the negative row sum.
+type Chain struct {
+	rates [][]float64
+}
+
+// New creates a chain with n states and no transitions.
+func New(n int) (*Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markov: need at least one state, got %d", n)
+	}
+	rates := make([][]float64, n)
+	for i := range rates {
+		rates[i] = make([]float64, n)
+	}
+	return &Chain{rates: rates}, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return len(c.rates) }
+
+// SetRate sets the transition rate from state i to state j.
+func (c *Chain) SetRate(i, j int, rate float64) error {
+	n := c.N()
+	switch {
+	case i < 0 || i >= n || j < 0 || j >= n:
+		return fmt.Errorf("markov: state out of range: %d -> %d (n=%d)", i, j, n)
+	case i == j:
+		return fmt.Errorf("markov: self transition %d -> %d", i, j)
+	case rate < 0:
+		return fmt.Errorf("markov: negative rate %v", rate)
+	}
+	c.rates[i][j] = rate
+	return nil
+}
+
+// Rate returns the transition rate from i to j (0 when unset).
+func (c *Chain) Rate(i, j int) float64 { return c.rates[i][j] }
+
+// SteadyState solves πQ = 0, Σπ = 1 by Gaussian elimination with partial
+// pivoting, where Q is the generator. The chain must be irreducible for
+// the solution to be the unique stationary distribution.
+func (c *Chain) SteadyState() ([]float64, error) {
+	n := c.N()
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	// Build Qᵀ with the normalisation row replacing the last equation:
+	// A x = b where A = Qᵀ except row n-1 = ones, b = e_{n-1}.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	for i := 0; i < n; i++ {
+		diag := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				diag += c.rates[i][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			var q float64
+			switch {
+			case i == j:
+				q = -diag
+			default:
+				q = c.rates[i][j]
+			}
+			// Transpose: equation row j gets Q[i][j]·π_i.
+			a[j][i] = q
+		}
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	a[n-1][n] = 1
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, fmt.Errorf("markov: singular generator (chain not irreducible?)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pi[i] = a[i][n] / a[i][i]
+		if pi[i] < 0 && pi[i] > -1e-12 {
+			pi[i] = 0
+		}
+		if pi[i] < 0 {
+			return nil, fmt.Errorf("markov: negative stationary probability π[%d]=%v", i, pi[i])
+		}
+	}
+	return pi, nil
+}
+
+// BirthDeath builds the paper's Figure 3 chain truncated at maxFailures
+// consecutive failures: state i means i failures have occurred since the
+// last successful recovery. F0 →(λi)→ F1 →(λc)→ F2 → … and every Fi (i>0)
+// returns to F0 at the recovery rate µ.
+func BirthDeath(lambdaI, lambdaC, mu float64, maxFailures int) (*Chain, error) {
+	if lambdaI <= 0 || lambdaC <= 0 || mu <= 0 {
+		return nil, fmt.Errorf("markov: rates must be positive (λi=%v λc=%v µ=%v)", lambdaI, lambdaC, mu)
+	}
+	if maxFailures < 1 {
+		return nil, fmt.Errorf("markov: maxFailures %d < 1", maxFailures)
+	}
+	c, err := New(maxFailures + 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetRate(0, 1, lambdaI); err != nil {
+		return nil, err
+	}
+	for i := 1; i < maxFailures; i++ {
+		if err := c.SetRate(i, i+1, lambdaC); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i <= maxFailures; i++ {
+		if err := c.SetRate(i, 0, mu); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ConditionalFollowOnProbability returns, for a solved Figure 3 chain, the
+// probability that a failure state experiences another failure before
+// recovering: λc/(λc+µ) — exposed for cross-checking against the paper's
+// closed form and the solver.
+func ConditionalFollowOnProbability(lambdaC, mu float64) float64 {
+	if lambdaC <= 0 || mu <= 0 {
+		return 0
+	}
+	return lambdaC / (lambdaC + mu)
+}
+
+// UpFraction returns π₀ of a solved birth–death chain: the long-run
+// fraction of time with no outstanding failure.
+func UpFraction(pi []float64) float64 {
+	if len(pi) == 0 {
+		return 0
+	}
+	return pi[0]
+}

@@ -1,0 +1,103 @@
+package model
+
+import "repro/internal/san"
+
+// Breakdown is the fraction of wall time the compute subsystem spends in
+// each macro state. The components sum to 1 (up to floating point): at any
+// instant the lumped compute unit is executing, quiescing, dumping a
+// checkpoint, blocked on a blocking file-system write, recovering (either
+// stage, including waits for I/O-node restarts), or rebooting.
+//
+// The paper's "over 50% of system time is spent in handling failures"
+// claim (§7.1) is Recovery + Reboot + the repeated-work share of
+// Execution; see Metrics.RepeatedWorkFraction.
+type Breakdown struct {
+	// Execution is time spent running the application (including
+	// application I/O) — useful and to-be-lost work alike.
+	Execution float64
+	// Quiesce is time spent stopping for checkpoints (broadcast wait and
+	// coordination), plus aborted-coordination waits.
+	Quiesce float64
+	// Dump is time spent dumping checkpoints to the I/O nodes.
+	Dump float64
+	// FSWait is time blocked on checkpoint file-system writes; always 0
+	// unless the BlockingCheckpointWrite ablation is on.
+	FSWait float64
+	// Recovery is time spent in recovery stages 1 and 2, including time
+	// waiting for I/O nodes to restart before a stage can proceed.
+	Recovery float64
+	// Reboot is time spent in whole-system reboots.
+	Reboot float64
+}
+
+// Sum returns the total of all components (≈ 1 for a full window).
+func (b Breakdown) Sum() float64 {
+	return b.Execution + b.Quiesce + b.Dump + b.FSWait + b.Recovery + b.Reboot
+}
+
+// Overhead returns everything that is not application execution.
+func (b Breakdown) Overhead() float64 { return b.Sum() - b.Execution }
+
+// stateRewards are the per-state occupancy rate rewards behind Breakdown.
+type stateRewards struct {
+	execution *san.RateReward
+	quiesce   *san.RateReward
+	dump      *san.RateReward
+	fsWait    *san.RateReward
+	recovery  *san.RateReward
+	reboot    *san.RateReward
+}
+
+// addStateRewards registers the occupancy rewards on the simulator.
+func (in *Instance) addStateRewards() {
+	pl := in.pl
+	ind := func(p *san.Place) func(m *san.Marking) float64 {
+		return func(m *san.Marking) float64 {
+			if m.Has(p) {
+				return 1
+			}
+			return 0
+		}
+	}
+	in.states = stateRewards{
+		execution: in.sim.AddRateReward("state_execution", ind(pl.execution)),
+		quiesce:   in.sim.AddRateReward("state_quiesce", ind(pl.quiescing)),
+		dump:      in.sim.AddRateReward("state_dump", ind(pl.checkpointing)),
+		fsWait:    in.sim.AddRateReward("state_fswait", ind(pl.fsWait)),
+		recovery: in.sim.AddRateReward("state_recovery", func(m *san.Marking) float64 {
+			if m.Has(pl.recoveryStage1) || m.Has(pl.recoveryStage2) {
+				return 1
+			}
+			return 0
+		}),
+		reboot: in.sim.AddRateReward("state_reboot", ind(pl.rebooting)),
+	}
+}
+
+// breakdownSnapshot captures the state integrals at one instant.
+func (in *Instance) breakdownSnapshot() [6]float64 {
+	return [6]float64{
+		in.states.execution.Integral(),
+		in.states.quiesce.Integral(),
+		in.states.dump.Integral(),
+		in.states.fsWait.Integral(),
+		in.states.recovery.Integral(),
+		in.states.reboot.Integral(),
+	}
+}
+
+// breakdownBetween converts two snapshots into per-state fractions of the
+// elapsed window.
+func breakdownBetween(from, to [6]float64, window float64) Breakdown {
+	if window <= 0 {
+		return Breakdown{}
+	}
+	return Breakdown{
+		Execution: (to[0] - from[0]) / window,
+		Quiesce:   (to[1] - from[1]) / window,
+		Dump:      (to[2] - from[2]) / window,
+		FSWait:    (to[3] - from[3]) / window,
+		Recovery:  (to[4] - from[4]) / window,
+		Reboot:    (to[5] - from[5]) / window,
+	}
+}

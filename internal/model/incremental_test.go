@@ -1,0 +1,81 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestIncrementalCheckpointingReducesOverhead: with small incremental
+// dumps between full ones, the failure-free checkpoint overhead shrinks
+// toward the incremental dump time.
+func TestIncrementalCheckpointingReducesOverhead(t *testing.T) {
+	full := reliable()
+	fin := mustNew(t, full, 80)
+	mFull, err := fin.RunSteadyState(100, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr := full
+	incr.IncrementalFraction = 0.1
+	incr.FullCheckpointEvery = 6
+	iin := mustNew(t, incr, 80)
+	mIncr, err := iin.RunSteadyState(100, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mIncr.UsefulWorkFraction <= mFull.UsefulWorkFraction {
+		t.Fatalf("incremental checkpointing did not help: %v vs %v",
+			mIncr.UsefulWorkFraction, mFull.UsefulWorkFraction)
+	}
+	// Expected gain ≈ (1 - (1 + (k-1)f)/k) × dumpTime/interval ≈ 1.95%.
+	gain := mIncr.UsefulWorkFraction - mFull.UsefulWorkFraction
+	k, f := 6.0, 0.1
+	want := (1 - (1+(k-1)*f)/k) * full.CheckpointDumpTime() / full.CheckpointInterval
+	if gain < want*0.5 || gain > want*1.5 {
+		t.Fatalf("incremental gain = %v, want ≈ %v", gain, want)
+	}
+}
+
+// TestIncrementalPatternFullEveryK: the dump sizes cycle full, k-1
+// incrementals, full, …
+func TestIncrementalPatternFullEveryK(t *testing.T) {
+	cfg := reliable()
+	cfg.IncrementalFraction = 0.25
+	cfg.FullCheckpointEvery = 3
+	in := mustNew(t, cfg, 81)
+	var seqs []int
+	in.SetTrace(func(_ float64, activity string, mk map[string]int) {
+		if activity == "dump_chkpt" {
+			seqs = append(seqs, mk["incr_seq"])
+		}
+	}, true)
+	in.Advance(4) // ~7 checkpoints at ~31 min each
+	if len(seqs) < 6 {
+		t.Fatalf("only %d checkpoints observed", len(seqs))
+	}
+	// The post-dump counter cycles 1,2,0,1,2,0,… (0 after each full-chain
+	// completion, i.e. the NEXT dump is full).
+	for i, s := range seqs {
+		if want := (i + 1) % 3; s != want {
+			t.Fatalf("dump %d: incr_seq = %d, want %d (pattern full,inc,inc)", i, s, want)
+		}
+	}
+}
+
+// TestIncrementalValidation: the config cross-field checks.
+func TestIncrementalValidation(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.IncrementalFraction = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("missing FullCheckpointEvery accepted")
+	}
+	cfg.FullCheckpointEvery = 2
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid incremental config rejected: %v", err)
+	}
+	cfg.IncrementalFraction = 1.0
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("fraction 1.0 accepted (must be < 1)")
+	}
+}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/san"
+)
+
+// EnableInvariantChecks registers the model's structural invariants with
+// the SAN simulator; every firing then validates them and panics on
+// violation. Intended for tests and debugging — the checks cost a few
+// predicate evaluations per event.
+func (in *Instance) EnableInvariantChecks() {
+	pl := in.pl
+	count := func(m *san.Marking, ps ...*san.Place) int {
+		n := 0
+		for _, p := range ps {
+			n += m.Get(p)
+		}
+		return n
+	}
+	in.sim.AddInvariant("compute unit in one state", func(m *san.Marking) error {
+		if n := count(m, pl.execution, pl.quiescing, pl.checkpointing, pl.fsWait); n > 1 {
+			return fmt.Errorf("%d compute states marked", n)
+		}
+		return nil
+	})
+	in.sim.AddInvariant("app in one phase", func(m *san.Marking) error {
+		if n := count(m, pl.appCompute, pl.appIO); n != 1 {
+			return fmt.Errorf("%d app phases marked", n)
+		}
+		return nil
+	})
+	in.sim.AddInvariant("master in one state", func(m *san.Marking) error {
+		if n := count(m, pl.masterSleep, pl.masterCheckpointing); n != 1 {
+			return fmt.Errorf("%d master states marked", n)
+		}
+		return nil
+	})
+	in.sim.AddInvariant("io unit in one state", func(m *san.Marking) error {
+		if n := count(m, pl.ionodeIdle, pl.writingChkpt, pl.writingAppData, pl.ioRestarting, pl.rebooting); n > 1 {
+			return fmt.Errorf("%d I/O states marked", n)
+		}
+		return nil
+	})
+	in.sim.AddInvariant("no recovery while up", func(m *san.Marking) error {
+		if m.Has(pl.sysUp) && count(m, pl.recoveryStage1, pl.recoveryStage2) > 0 {
+			return fmt.Errorf("recovering while sys_up")
+		}
+		return nil
+	})
+	in.sim.AddInvariant("at most one recovery stage", func(m *san.Marking) error {
+		if n := count(m, pl.recoveryStage1, pl.recoveryStage2); n > 1 {
+			return fmt.Errorf("%d recovery stages marked", n)
+		}
+		return nil
+	})
+	in.sim.AddInvariant("secured work ordered", func(*san.Marking) error {
+		if in.capD > in.capB+1e-9 || in.capB > in.useful()+1e-9 {
+			return fmt.Errorf("capD=%v capB=%v useful=%v", in.capD, in.capB, in.useful())
+		}
+		return nil
+	})
+}

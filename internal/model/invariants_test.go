@@ -1,0 +1,57 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestInvariantsHoldOnStressedConfigs turns on per-firing invariant
+// checking and drives heavy trajectories across the feature matrix; any
+// violation panics inside the simulator.
+func TestInvariantsHoldOnStressedConfigs(t *testing.T) {
+	configs := map[string]func(*cluster.Config){
+		"base short mttf": func(c *cluster.Config) {
+			c.MTTFPerNode = cluster.Years(0.25)
+			c.SevereFailureThreshold = 3
+		},
+		"timeout and coordination": func(c *cluster.Config) {
+			c.MTTFPerNode = cluster.Years(0.5)
+			c.Coordination = cluster.CoordMaxOfN
+			c.Timeout = cluster.Seconds(90)
+		},
+		"correlated windows": func(c *cluster.Config) {
+			c.MTTFPerNode = cluster.Years(1)
+			c.ProbCorrelated = 0.3
+			c.CorrelatedFactor = 800
+		},
+		"blocking writes": func(c *cluster.Config) {
+			c.MTTFPerNode = cluster.Years(0.5)
+			c.BlockingCheckpointWrite = true
+		},
+		"everything": func(c *cluster.Config) {
+			c.MTTFPerNode = cluster.Years(0.5)
+			c.Coordination = cluster.CoordMaxOfN
+			c.Timeout = cluster.Seconds(100)
+			c.ProbCorrelated = 0.2
+			c.CorrelatedFactor = 400
+			c.ProbPermanentFailure = 0.2
+			c.ReconfigurationTime = cluster.Minutes(15)
+			c.IncrementalFraction = 0.2
+			c.FullCheckpointEvery = 4
+			c.StragglerFraction = 0.01
+			c.StragglerMTTQMultiplier = 10
+		},
+	}
+	for name, mut := range configs {
+		t.Run(name, func(t *testing.T) {
+			cfg := cluster.Default()
+			mut(&cfg)
+			in := mustNew(t, cfg, 90)
+			in.EnableInvariantChecks()
+			if _, err := in.RunSteadyState(100, 1500); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

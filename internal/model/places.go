@@ -1,0 +1,100 @@
+// Package model assembles the paper's SAN: the twelve submodels of Table 1
+// (computing & checkpointing, failure & recovery, correlated failure, and
+// useful work), composed by state sharing exactly as in Figure 1, executing
+// on the SAN engine of internal/san.
+//
+// All compute nodes are modeled as a single unit and all I/O nodes as
+// another (Section 4), which is what lets the model scale to hundreds of
+// thousands of processors with modest simulation cost.
+package model
+
+import "repro/internal/san"
+
+// places collects every place of the composed model, grouped by submodel.
+// Shared states appear once and are referenced by several submodels, which
+// is how Figure 1's "state sharing" composition is realised.
+type places struct {
+	// compute_nodes submodel: the compute processors' position in the
+	// checkpoint cycle (Figure 2a).
+	execution     *san.Place // executing the application (initial)
+	quiescing     *san.Place // stopping activity for a checkpoint
+	checkpointing *san.Place // dumping state to the I/O nodes
+	fsWait        *san.Place // blocked on the FS write (ablation: BlockingCheckpointWrite)
+
+	// app_workload submodel (Figure 2c).
+	appCompute *san.Place // application computing (initial)
+	appIO      *san.Place // application in foreground I/O
+
+	// master submodel (Figure 2d).
+	masterSleep         *san.Place // between checkpoints (initial)
+	masterCheckpointing *san.Place // protocol in progress
+	timedOut            *san.Place // coordination timer expired
+
+	// coordination submodel (Figure 2e).
+	completeCoordination *san.Place // all nodes reported 'ready'
+
+	// io_nodes submodel (Figure 2b).
+	ionodeIdle     *san.Place // I/O nodes idle (initial)
+	writingChkpt   *san.Place // background checkpoint write to FS
+	writingAppData *san.Place // background application-data write to FS
+	enableChkpt    *san.Place // buffered checkpoint awaiting FS write
+	appDataPending *san.Place // application data awaiting FS write
+	chkptBuffered  *san.Place // newest checkpoint still buffered in I/O memory
+
+	// failure & recovery module.
+	sysUp            *san.Place // compute subsystem operational (initial)
+	recoveryStage1   *san.Place // I/O nodes reading checkpoint from the FS
+	recoveryStage2   *san.Place // compute nodes reading from I/O + reinit
+	recoveryFailures *san.Place // consecutive unsuccessful recoveries
+	ioUp             *san.Place // I/O subsystem operational (initial)
+	ioRestarting     *san.Place // all I/O nodes restarting
+	rebooting        *san.Place // whole-system reboot in progress
+	reconfigNeeded   *san.Place // permanent failure: spare-node reconfiguration pending
+	incrSeq          *san.Place // checkpoints since the last full one (incremental extension)
+
+	// correlated_failures submodel: a token marks the correlated-failure
+	// window during which all failure rates are multiplied by r. The
+	// window is a fixed-length burst from the triggering failure; it
+	// closes on expiry or on a successful recovery.
+	corrWindow *san.Place
+}
+
+// newPlaces declares all places with their initial markings (the block
+// arrows of Figure 2: execution, master_sleep, compute, ionode_idle, plus
+// the up flags).
+func newPlaces(m *san.Model) *places {
+	return &places{
+		execution:     m.Place("execution", 1),
+		quiescing:     m.Place("quiescing", 0),
+		checkpointing: m.Place("checkpointing", 0),
+		fsWait:        m.Place("fs_wait", 0),
+
+		appCompute: m.Place("app_compute", 1),
+		appIO:      m.Place("app_io", 0),
+
+		masterSleep:         m.Place("master_sleep", 1),
+		masterCheckpointing: m.Place("master_checkpointing", 0),
+		timedOut:            m.Place("timedout", 0),
+
+		completeCoordination: m.Place("complete_coordination", 0),
+
+		ionodeIdle:     m.Place("ionode_idle", 1),
+		writingChkpt:   m.Place("writing_chkpt", 0),
+		writingAppData: m.Place("writing_appdata", 0),
+		enableChkpt:    m.Place("enable_chkpt", 0),
+		appDataPending: m.Place("appdata_pending", 0),
+		chkptBuffered:  m.Place("chkpt_buffered", 0),
+
+		sysUp:            m.Place("sys_up", 1),
+		recoveryStage1:   m.Place("recovery_stage1", 0),
+		recoveryStage2:   m.Place("recovery_stage2", 0),
+		recoveryFailures: m.Place("recovery_failures", 0),
+		ioUp:             m.Place("io_up", 1),
+		ioRestarting:     m.Place("io_restarting", 0),
+		rebooting:        m.Place("rebooting", 0),
+		reconfigNeeded:   m.Place("reconfig_needed", 0),
+		incrSeq:          m.Place("incr_seq", 0),
+
+		corrWindow: m.Place("corr_window", 0),
+	}
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+)
+
+// randomConfig derives a valid configuration from raw fuzz inputs,
+// spanning coordination modes, timeouts, correlated failures, ablations
+// and the permanent-failure extension.
+func randomConfig(procsRaw, mttfRaw, intervalRaw, mttqRaw uint16, flags uint8) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Processors = (int(procsRaw)%4096 + 64) * 8
+	cfg.MTTFPerNode = cluster.Years(float64(mttfRaw%32)/8 + 0.125)
+	cfg.CheckpointInterval = cluster.Minutes(float64(intervalRaw%226) + 15)
+	cfg.MTTQ = cluster.Seconds(float64(mttqRaw%100)/10 + 0.5)
+	switch flags % 3 {
+	case 0:
+		cfg.Coordination = cluster.CoordFixed
+	case 1:
+		cfg.Coordination = cluster.CoordNone
+	default:
+		cfg.Coordination = cluster.CoordMaxOfN
+	}
+	if flags&4 != 0 {
+		cfg.Timeout = cluster.Seconds(float64(flags%120) + 20)
+	}
+	if flags&8 != 0 {
+		cfg.ProbCorrelated = 0.2
+		cfg.CorrelatedFactor = 400
+	}
+	if flags&16 != 0 {
+		cfg.BlockingCheckpointWrite = true
+	}
+	if flags&32 != 0 {
+		cfg.NoBufferedRecovery = true
+	}
+	if flags&64 != 0 {
+		cfg.ProbPermanentFailure = 0.3
+		cfg.ReconfigurationTime = cluster.Minutes(20)
+	}
+	if flags&128 != 0 {
+		cfg.GenericCorrelatedCoefficient = 0.0025
+		cfg.CorrelatedFactor = 400
+	}
+	return cfg
+}
+
+// TestModelInvariantsUnderRandomConfigs drives short trajectories of
+// arbitrary valid configurations and checks the global invariants: the
+// fraction lies in [0,1], secured work is ordered capD ≤ capB ≤ useful,
+// the time breakdown partitions the window, and FS-written checkpoints
+// never exceed dumped ones.
+func TestModelInvariantsUnderRandomConfigs(t *testing.T) {
+	f := func(seed uint64, procsRaw, mttfRaw, intervalRaw, mttqRaw uint16, flags uint8) bool {
+		cfg := randomConfig(procsRaw, mttfRaw, intervalRaw, mttqRaw, flags)
+		if err := cfg.Validate(); err != nil {
+			t.Logf("generated invalid config: %v", err)
+			return false
+		}
+		in, err := New(cfg, seed)
+		if err != nil {
+			t.Logf("New: %v", err)
+			return false
+		}
+		m, err := in.RunSteadyState(20, 200)
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		if m.UsefulWorkFraction < 0 || m.UsefulWorkFraction > 1 {
+			t.Logf("fraction %v out of range", m.UsefulWorkFraction)
+			return false
+		}
+		u, b, d := in.Useful(), in.SecuredBuffered(), in.SecuredDurable()
+		if d > b+1e-9 || b > u+1e-9 {
+			t.Logf("cap ordering broken: d=%v b=%v u=%v", d, b, u)
+			return false
+		}
+		if s := m.Breakdown.Sum(); math.Abs(s-1) > 1e-6 {
+			t.Logf("breakdown sums to %v", s)
+			return false
+		}
+		if m.Counters.CheckpointsWritten > m.Counters.CheckpointsDumped {
+			t.Logf("written %d > dumped %d", m.Counters.CheckpointsWritten, m.Counters.CheckpointsDumped)
+			return false
+		}
+		if m.RepeatedWorkFraction < 0 || m.RepeatedWorkFraction > m.Breakdown.Execution+1e-9 {
+			t.Logf("repeated work %v inconsistent with execution %v",
+				m.RepeatedWorkFraction, m.Breakdown.Execution)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModelDeterminismUnderRandomConfigs: identical (config, seed) pairs
+// give identical trajectories for arbitrary configurations.
+func TestModelDeterminismUnderRandomConfigs(t *testing.T) {
+	f := func(seed uint64, procsRaw, mttfRaw uint16, flags uint8) bool {
+		cfg := randomConfig(procsRaw, mttfRaw, 500, 100, flags)
+		run := func() (Metrics, bool) {
+			in, err := New(cfg, seed)
+			if err != nil {
+				return Metrics{}, false
+			}
+			m, err := in.RunSteadyState(10, 150)
+			return m, err == nil
+		}
+		a, okA := run()
+		b, okB := run()
+		if !okA || !okB {
+			return false
+		}
+		return a.UsefulWorkFraction == b.UsefulWorkFraction && a.Counters == b.Counters
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

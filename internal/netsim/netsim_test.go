@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTreeValidation(t *testing.T) {
+	if _, err := NewTree(0, 2, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewTree(10, 1, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := NewTree(10, 2, -1); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if _, err := NewTree(10, 2, 0.001); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+func TestParentAndDepthBinary(t *testing.T) {
+	tr, err := NewTree(15, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Parent(0) != -1 {
+		t.Error("root parent should be -1")
+	}
+	// Complete binary tree: node 1,2 at depth 1; 3..6 at depth 2; 7..14 at 3.
+	cases := map[int]int{0: 0, 1: 1, 2: 1, 3: 2, 6: 2, 7: 3, 14: 3}
+	for node, depth := range cases {
+		if d := tr.Depth(node); d != depth {
+			t.Errorf("depth(%d) = %d, want %d", node, d, depth)
+		}
+	}
+	if tr.MaxDepth() != 3 {
+		t.Errorf("max depth = %d, want 3", tr.MaxDepth())
+	}
+}
+
+func TestBroadcastLatencyScalesWithDepth(t *testing.T) {
+	tr, _ := NewTree(1000, 4, 0.5)
+	if tr.BroadcastLatency(0) != 0 {
+		t.Error("root latency should be 0")
+	}
+	if got := tr.BroadcastLatency(5); got != 1.0 {
+		t.Errorf("depth-2 node latency = %v, want 1.0", got)
+	}
+	if tr.FullBroadcastLatency() != float64(tr.MaxDepth())*0.5 {
+		t.Error("full broadcast latency wrong")
+	}
+	if tr.ReduceLatency(5) != tr.BroadcastLatency(5) {
+		t.Error("reduction should be symmetric to broadcast")
+	}
+}
+
+func TestDepthHistogram(t *testing.T) {
+	tr, _ := NewTree(15, 2, 1)
+	h := tr.DepthHistogram()
+	want := []int{1, 2, 4, 8}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", h, want)
+		}
+	}
+	// Truncated tree.
+	tr2, _ := NewTree(10, 2, 1)
+	h2 := tr2.DepthHistogram()
+	total := 0
+	for _, c := range h2 {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram sums to %d, want 10", total)
+	}
+}
+
+// TestTreeProperties: parent is always shallower, histogram always sums to
+// node count, for arbitrary trees.
+func TestTreeProperties(t *testing.T) {
+	f := func(nRaw uint16, kRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		k := int(kRaw)%7 + 2
+		tr, err := NewTree(n, k, 0.001)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i += 97 {
+			p := tr.Parent(i)
+			if p < 0 || p >= i || tr.Depth(p) != tr.Depth(i)-1 {
+				return false
+			}
+		}
+		sum := 0
+		for _, c := range tr.DepthHistogram() {
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/cluster"
+)
+
+// smallCfg returns a modest system so per-node simulation stays fast.
+func smallCfg(nodes int) cluster.Config {
+	cfg := cluster.Default()
+	cfg.ProcsPerNode = 8
+	cfg.Processors = nodes * 8
+	cfg.ComputeFraction = 1.0 // isolate pure coordination first
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := cluster.Default()
+	bad.Processors = 0
+	if _, err := New(bad, 2, 0.001, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := New(cluster.Default(), 1, 0.001, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	if _, err := New(cluster.Default(), 2, 0.001, 1); err != nil {
+		t.Errorf("valid inputs rejected: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s, err := New(smallCfg(64), 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+// TestCoordinationMatchesMaxOfN is the validation the package exists for:
+// with negligible tree latency, the message-level coordination time must
+// converge to the lumped SAN's max-of-n-exponentials mean, MTTQ·H_n.
+func TestCoordinationMatchesMaxOfN(t *testing.T) {
+	const nodes = 2048
+	cfg := smallCfg(nodes)
+	s, err := New(cfg, 64, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.ExpectedCoordinationTime(nodes, cfg.MTTQ)
+	got := sum.Coordination.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("message-level coordination mean %v vs lumped model %v", got, want)
+	}
+}
+
+// TestTreeLatencyAddsToCoordination: a large hop latency shifts the
+// coordination time by about twice the tree depth's worth of hops
+// (broadcast down + reduce up).
+func TestTreeLatencyAddsToCoordination(t *testing.T) {
+	const nodes = 512
+	cfg := smallCfg(nodes)
+	fast, err := New(cfg, 2, 0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := cluster.Seconds(5) // absurdly slow links to make the effect visible
+	slow, err := New(cfg, 2, hop, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := fast.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := slow.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := ss.Coordination.Mean() - sf.Coordination.Mean()
+	if diff <= hop {
+		t.Fatalf("tree latency had no visible effect: diff = %v", diff)
+	}
+}
+
+// TestTimeoutAborts: the message-level abort fraction must match the
+// analytic probability 1-(1-e^{-t/MTTQ})^n.
+func TestTimeoutAborts(t *testing.T) {
+	const nodes = 1024
+	cfg := smallCfg(nodes)
+	cfg.Timeout = cluster.Seconds(70)
+	s, err := New(cfg, 64, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.CoordinationAbortProbability(nodes, cfg.MTTQ, cfg.Timeout)
+	if math.Abs(sum.AbortFraction-want) > 0.07 {
+		t.Fatalf("abort fraction %v vs analytic %v", sum.AbortFraction, want)
+	}
+	if sum.AbortFraction > 0 {
+		r := s.Round()
+		for i := 0; i < 50 && !r.Aborted; i++ {
+			r = s.Round()
+		}
+		if r.Aborted && r.DumpTime != 0 {
+			t.Fatal("aborted round should not dump")
+		}
+	}
+}
+
+// TestForegroundIODelaysQuiesce: with a large I/O fraction, rounds start
+// later on average because nodes must finish non-preemptive I/O.
+func TestForegroundIODelaysQuiesce(t *testing.T) {
+	const nodes = 512
+	pure := smallCfg(nodes)
+	io := pure
+	io.ComputeFraction = 0.5 // half the cycle is I/O
+	sp, err := New(pure, 64, 0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sio, err := New(io, 64, 0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sp.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sio.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Coordination.Mean() <= p.Coordination.Mean() {
+		t.Fatalf("foreground I/O did not delay coordination: %v vs %v",
+			q.Coordination.Mean(), p.Coordination.Mean())
+	}
+}
+
+func TestRoundFieldsConsistent(t *testing.T) {
+	cfg := smallCfg(256)
+	s, err := New(cfg, 4, cluster.Seconds(0.001), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Round()
+	if r.Aborted {
+		t.Fatal("round aborted without a timeout configured")
+	}
+	if r.CoordinationTime <= 0 {
+		t.Fatal("non-positive coordination time")
+	}
+	if r.DumpTime != cfg.CheckpointDumpTime() {
+		t.Fatalf("dump time = %v, want %v", r.DumpTime, cfg.CheckpointDumpTime())
+	}
+	if r.TotalTime < r.CoordinationTime+r.DumpTime {
+		t.Fatal("total time smaller than its parts")
+	}
+	if r.SlowestNode < 0 || r.SlowestNode >= cfg.Nodes() {
+		t.Fatalf("slowest node index %d out of range", r.SlowestNode)
+	}
+}

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Comparison is the outcome of a paired A/B estimate.
+type Comparison struct {
+	// A and B are the independent estimates of the two configurations.
+	A, B Result
+	// FractionDiff is the paired confidence interval of
+	// (B − A) useful-work fraction. Pairing with common random numbers
+	// cancels most sampling noise, so small design effects resolve with
+	// far fewer replications than two independent estimates would need.
+	FractionDiff stats.Interval
+	// TotalDiff is the paired CI of (B − A) total useful work.
+	TotalDiff stats.Interval
+}
+
+// Significant reports whether the fraction difference is statistically
+// nonzero at the comparison's confidence level.
+func (c Comparison) Significant() bool {
+	return !c.FractionDiff.Contains(0)
+}
+
+// Compare estimates two configurations with common random numbers:
+// replication r of A and replication r of B share the same seed, so the
+// same failure times and quiesce samples drive both systems wherever their
+// dynamics coincide. The returned intervals are paired-t CIs of the
+// differences (B − A).
+func Compare(a, b cluster.Config, opts Options) (Comparison, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Comparison{}, fmt.Errorf("runner: config A: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return Comparison{}, fmt.Errorf("runner: config B: %w", err)
+	}
+	root := rng.New(opts.Seed)
+	var (
+		comp              Comparison
+		fracDiff, totDiff stats.Accumulator
+		fracA, totA       stats.Accumulator
+		fracB, totB       stats.Accumulator
+	)
+	for r := 0; r < opts.Replications; r++ {
+		seed := root.Uint64()
+		ma, err := runOne(a, seed, opts)
+		if err != nil {
+			return Comparison{}, err
+		}
+		mb, err := runOne(b, seed, opts)
+		if err != nil {
+			return Comparison{}, err
+		}
+		comp.A.PerReplication = append(comp.A.PerReplication, ma)
+		comp.B.PerReplication = append(comp.B.PerReplication, mb)
+		fracA.Add(ma.UsefulWorkFraction)
+		fracB.Add(mb.UsefulWorkFraction)
+		totA.Add(ma.TotalUsefulWork)
+		totB.Add(mb.TotalUsefulWork)
+		fracDiff.Add(mb.UsefulWorkFraction - ma.UsefulWorkFraction)
+		totDiff.Add(mb.TotalUsefulWork - ma.TotalUsefulWork)
+	}
+	comp.A.UsefulWorkFraction = fracA.CI(opts.Confidence)
+	comp.A.TotalUsefulWork = totA.CI(opts.Confidence)
+	comp.B.UsefulWorkFraction = fracB.CI(opts.Confidence)
+	comp.B.TotalUsefulWork = totB.CI(opts.Confidence)
+	comp.FractionDiff = fracDiff.CI(opts.Confidence)
+	comp.TotalDiff = totDiff.CI(opts.Confidence)
+	return comp, nil
+}
+
+// runOne simulates one trajectory.
+func runOne(cfg cluster.Config, seed uint64, opts Options) (model.Metrics, error) {
+	in, err := model.New(cfg, seed)
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	return in.RunSteadyState(opts.Warmup, opts.Measure)
+}

@@ -1,0 +1,110 @@
+// Package runner estimates steady-state measures of the checkpointing
+// model by independent replications: each replication simulates a transient
+// warmup (discarded, the paper uses 1000 h) plus a measurement window, and
+// the replication means feed Student-t confidence intervals at the paper's
+// 95 % level.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Options controls the estimation procedure.
+type Options struct {
+	// Replications is the number of independent trajectories (≥ 2 for a
+	// confidence interval). Default 5.
+	Replications int
+	// Warmup is the discarded transient, in hours. Default 1000 (paper).
+	Warmup float64
+	// Measure is the measurement window per replication, in hours.
+	// Default 4000.
+	Measure float64
+	// Confidence is the CI level. Default 0.95 (paper).
+	Confidence float64
+	// Seed is the root seed; replication r uses an independent sub-stream
+	// derived from it. Default 1.
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Replications == 0 {
+		o.Replications = 5
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 1000
+	}
+	if o.Measure == 0 {
+		o.Measure = 4000
+	}
+	if o.Confidence == 0 {
+		o.Confidence = 0.95
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Validate reports option problems (after defaulting).
+func (o Options) Validate() error {
+	if o.Replications < 1 {
+		return fmt.Errorf("runner: Replications %d < 1", o.Replications)
+	}
+	if o.Warmup < 0 {
+		return fmt.Errorf("runner: negative Warmup %v", o.Warmup)
+	}
+	if o.Measure <= 0 {
+		return fmt.Errorf("runner: Measure %v must be positive", o.Measure)
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		return fmt.Errorf("runner: Confidence %v outside (0,1)", o.Confidence)
+	}
+	return nil
+}
+
+// Result aggregates the replications of one configuration.
+type Result struct {
+	// UsefulWorkFraction is the replication-mean fraction with its CI.
+	UsefulWorkFraction stats.Interval
+	// TotalUsefulWork is the replication-mean total useful work with CI.
+	TotalUsefulWork stats.Interval
+	// PerReplication holds the raw metrics of each trajectory.
+	PerReplication []model.Metrics
+}
+
+// Estimate runs the model for cfg under the given options.
+func Estimate(cfg cluster.Config, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("runner: %w", err)
+	}
+	root := rng.New(opts.Seed)
+	var frac, total stats.Accumulator
+	res := Result{PerReplication: make([]model.Metrics, 0, opts.Replications)}
+	for r := 0; r < opts.Replications; r++ {
+		seed := root.Uint64()
+		in, err := model.New(cfg, seed)
+		if err != nil {
+			return Result{}, err
+		}
+		m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
+		if err != nil {
+			return Result{}, err
+		}
+		frac.Add(m.UsefulWorkFraction)
+		total.Add(m.TotalUsefulWork)
+		res.PerReplication = append(res.PerReplication, m)
+	}
+	res.UsefulWorkFraction = frac.CI(opts.Confidence)
+	res.TotalUsefulWork = total.CI(opts.Confidence)
+	return res, nil
+}

@@ -1,0 +1,214 @@
+// Package san implements Stochastic Activity Networks (SANs), the modeling
+// formalism the paper uses (via the Möbius tool, reimplemented here from
+// scratch): places holding tokens, timed and instantaneous activities with
+// marking-dependent enabling predicates (input gates), firing effects
+// (output gates), marking-dependent delay distributions with reactivation,
+// and rate/impulse reward variables evaluated over the marking process.
+//
+// The executor in simulator.go turns a Model into a discrete-event
+// simulation on top of internal/des.
+package san
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Place is a token holder. Tokens are non-negative integers; most places in
+// the paper's model hold zero or one token and act as state flags, matching
+// the "all compute nodes modeled as a single unit" abstraction of Section 4.
+type Place struct {
+	Name    string
+	Initial int
+	index   int
+}
+
+// Kind distinguishes timed activities (fire after a sampled delay) from
+// instantaneous ones (fire immediately when enabled).
+type Kind int
+
+const (
+	// Timed activities fire after a delay drawn from Delay.
+	Timed Kind = iota + 1
+	// Instantaneous activities fire as soon as they are enabled, before
+	// any timed activity and before simulated time advances.
+	Instantaneous
+)
+
+// Marking is the read/write view of the net's state passed to predicates
+// and effects.
+type Marking struct {
+	tokens  []int
+	changed map[int]bool
+	model   *Model
+}
+
+// Get returns the number of tokens in p.
+func (m *Marking) Get(p *Place) int { return m.tokens[p.index] }
+
+// Has reports whether p holds at least one token.
+func (m *Marking) Has(p *Place) bool { return m.tokens[p.index] > 0 }
+
+// Set assigns the token count of p. Negative counts panic: they always
+// indicate a broken gate function.
+func (m *Marking) Set(p *Place, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("san: place %q set to negative count %d", p.Name, n))
+	}
+	if m.tokens[p.index] != n {
+		m.tokens[p.index] = n
+		if m.changed != nil {
+			m.changed[p.index] = true
+		}
+	}
+}
+
+// Add adds delta tokens to p (delta may be negative).
+func (m *Marking) Add(p *Place, delta int) { m.Set(p, m.Get(p)+delta) }
+
+// Move transfers one token from src to dst; it panics when src is empty,
+// because moving a non-existent token is a structural modeling error.
+func (m *Marking) Move(src, dst *Place) {
+	if m.Get(src) < 1 {
+		panic(fmt.Sprintf("san: move from empty place %q", src.Name))
+	}
+	m.Add(src, -1)
+	m.Add(dst, 1)
+}
+
+// Clear removes all tokens from p.
+func (m *Marking) Clear(p *Place) { m.Set(p, 0) }
+
+// Predicate is an input-gate enabling condition over the marking.
+type Predicate func(m *Marking) bool
+
+// Effect is an output-gate firing function: it moves tokens.
+type Effect func(m *Marking)
+
+// DelayFunc samples a firing delay for a timed activity in the current
+// marking. It is invoked when the activity becomes enabled and again on
+// reactivation.
+type DelayFunc func(m *Marking, src rng.Source) float64
+
+// Activity is a SAN activity. Use Model.AddTimed / Model.AddInstant to
+// create activities; the zero value is not valid.
+type Activity struct {
+	Name    string
+	Kind    Kind
+	Enabled Predicate
+	Delay   DelayFunc // nil for instantaneous activities
+	Fire    Effect
+	// ReactivateOn lists places whose token-count changes force the
+	// activity to resample its delay while it remains enabled. This is
+	// how marking-dependent failure rates (correlated-failure windows)
+	// are modeled; resampling an exponential is statistically sound by
+	// memorylessness.
+	ReactivateOn []*Place
+	// Priority orders simultaneous instantaneous firings (higher first).
+	Priority int
+
+	index      int
+	reactivate map[int]bool
+}
+
+// Model is an immutable (after Validate) SAN structure: places plus
+// activities. Build one with NewModel, then hand it to NewSimulator.
+type Model struct {
+	Name       string
+	places     []*Place
+	activities []*Activity
+	byName     map[string]*Place
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model {
+	return &Model{Name: name, byName: make(map[string]*Place)}
+}
+
+// Place adds a place with the given name and initial token count. Duplicate
+// names panic: the paper's submodels share state by *name identity*, so a
+// silent duplicate would split a shared place in two.
+func (mod *Model) Place(name string, initial int) *Place {
+	if _, dup := mod.byName[name]; dup {
+		panic(fmt.Sprintf("san: duplicate place %q", name))
+	}
+	if initial < 0 {
+		panic(fmt.Sprintf("san: place %q has negative initial marking", name))
+	}
+	p := &Place{Name: name, Initial: initial, index: len(mod.places)}
+	mod.places = append(mod.places, p)
+	mod.byName[name] = p
+	return p
+}
+
+// LookupPlace returns the place with the given name, or nil.
+func (mod *Model) LookupPlace(name string) *Place { return mod.byName[name] }
+
+// Places returns the model's places in creation order.
+func (mod *Model) Places() []*Place {
+	out := make([]*Place, len(mod.places))
+	copy(out, mod.places)
+	return out
+}
+
+// Activities returns the model's activities in creation order.
+func (mod *Model) Activities() []*Activity {
+	out := make([]*Activity, len(mod.activities))
+	copy(out, mod.activities)
+	return out
+}
+
+// AddTimed registers a timed activity.
+func (mod *Model) AddTimed(a Activity) *Activity {
+	a.Kind = Timed
+	return mod.add(a)
+}
+
+// AddInstant registers an instantaneous activity.
+func (mod *Model) AddInstant(a Activity) *Activity {
+	a.Kind = Instantaneous
+	a.Delay = nil
+	return mod.add(a)
+}
+
+func (mod *Model) add(a Activity) *Activity {
+	act := a
+	act.index = len(mod.activities)
+	act.reactivate = make(map[int]bool, len(a.ReactivateOn))
+	for _, p := range a.ReactivateOn {
+		act.reactivate[p.index] = true
+	}
+	mod.activities = append(mod.activities, &act)
+	return &act
+}
+
+// Validate checks structural well-formedness: every activity has a name,
+// an enabling predicate, a firing effect, and (if timed) a delay function,
+// and all reactivation places belong to this model.
+func (mod *Model) Validate() error {
+	seen := make(map[string]bool, len(mod.activities))
+	for _, a := range mod.activities {
+		switch {
+		case a.Name == "":
+			return fmt.Errorf("model %s: unnamed activity", mod.Name)
+		case seen[a.Name]:
+			return fmt.Errorf("model %s: duplicate activity %q", mod.Name, a.Name)
+		case a.Enabled == nil:
+			return fmt.Errorf("model %s: activity %q has no enabling predicate", mod.Name, a.Name)
+		case a.Fire == nil:
+			return fmt.Errorf("model %s: activity %q has no firing effect", mod.Name, a.Name)
+		case a.Kind == Timed && a.Delay == nil:
+			return fmt.Errorf("model %s: timed activity %q has no delay", mod.Name, a.Name)
+		case a.Kind != Timed && a.Kind != Instantaneous:
+			return fmt.Errorf("model %s: activity %q has invalid kind %d", mod.Name, a.Name, a.Kind)
+		}
+		seen[a.Name] = true
+		for _, p := range a.ReactivateOn {
+			if p.index >= len(mod.places) || mod.places[p.index] != p {
+				return fmt.Errorf("model %s: activity %q reactivates on foreign place %q", mod.Name, a.Name, p.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package san
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// RateReward integrates a marking-dependent rate over simulated time, the
+// SAN analogue of accumulated reward (the paper's useful-work measure is
+// built from one rate reward plus impulse rewards).
+type RateReward struct {
+	Name string
+	Rate func(m *Marking) float64
+
+	integral float64
+	lastRate float64
+	lastTime float64
+}
+
+// Integral returns the accumulated ∫rate dt so far.
+func (r *RateReward) Integral() float64 { return r.integral }
+
+// ImpulseHook runs when a specific activity fires, after its Effect. The
+// returned value is added to the hook's accumulator; hooks may also mutate
+// external reward state (closures).
+type ImpulseHook struct {
+	Name     string
+	Activity *Activity
+	Impulse  func(m *Marking) float64
+
+	total float64
+	count uint64
+}
+
+// Total returns the accumulated impulse reward.
+func (h *ImpulseHook) Total() float64 { return h.total }
+
+// Count returns the number of times the hook fired.
+func (h *ImpulseHook) Count() uint64 { return h.count }
+
+// TraceFunc observes every firing: time, activity, marking after firing.
+type TraceFunc func(t float64, a *Activity, m *Marking)
+
+// Invariant is a marking predicate checked after every firing when
+// invariant checking is enabled; returning an error panics with context,
+// because a violated invariant means the net itself is broken and no
+// result derived from the trajectory can be trusted.
+type Invariant struct {
+	Name  string
+	Check func(m *Marking) error
+}
+
+// Simulator executes a Model as a discrete-event simulation. Create with
+// NewSimulator; a Simulator is single-use for one trajectory (call Reset to
+// reuse, which restores the initial marking and clears rewards).
+type Simulator struct {
+	model *Model
+	src   rng.Source
+	eng   *des.Engine
+
+	marking   *Marking
+	scheduled []*des.Event // per-activity pending event (nil when disabled)
+	enabled   []bool
+
+	rates      []*RateReward
+	impulses   map[int][]*ImpulseHook
+	trace      TraceFunc
+	invariants []Invariant
+
+	// MaxInstantChain guards against livelock among instantaneous
+	// activities; exceeded chains panic. Default 10000.
+	MaxInstantChain int
+}
+
+// NewSimulator validates the model and prepares an executor with the given
+// random source.
+func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("san: %w", err)
+	}
+	s := &Simulator{
+		model:           model,
+		src:             src,
+		impulses:        make(map[int][]*ImpulseHook),
+		MaxInstantChain: 10000,
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset restores the initial marking, clears the event queue and rewards,
+// and rewinds the clock to zero. The random source is NOT reset, so
+// consecutive trajectories are independent.
+func (s *Simulator) Reset() {
+	tokens := make([]int, len(s.model.places))
+	for _, p := range s.model.places {
+		tokens[p.index] = p.Initial
+	}
+	s.marking = &Marking{tokens: tokens, changed: make(map[int]bool), model: s.model}
+	s.eng = des.New()
+	s.scheduled = make([]*des.Event, len(s.model.activities))
+	s.enabled = make([]bool, len(s.model.activities))
+	for _, hooks := range s.impulses {
+		for _, h := range hooks {
+			h.total, h.count = 0, 0
+		}
+	}
+	s.settle()
+	for _, r := range s.rates {
+		r.integral = 0
+		r.lastRate = r.Rate(s.marking)
+		r.lastTime = 0
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() float64 { return s.eng.Now() }
+
+// Fired returns the number of activity firings so far.
+func (s *Simulator) Fired() uint64 { return s.eng.Fired() }
+
+// Marking exposes the current marking (read it, don't mutate it outside
+// activity effects).
+func (s *Simulator) Marking() *Marking { return s.marking }
+
+// SetTrace installs a firing observer (nil disables tracing).
+func (s *Simulator) SetTrace(f TraceFunc) { s.trace = f }
+
+// AddInvariant registers a marking predicate evaluated after every firing.
+// A violation panics with the firing context — invariants exist to catch
+// modeling bugs in tests, not to report runtime errors.
+func (s *Simulator) AddInvariant(name string, check func(m *Marking) error) {
+	s.invariants = append(s.invariants, Invariant{Name: name, Check: check})
+}
+
+// AddRateReward registers a rate reward evaluated over the marking process.
+func (s *Simulator) AddRateReward(name string, rate func(m *Marking) float64) *RateReward {
+	r := &RateReward{Name: name, Rate: rate}
+	r.lastRate = rate(s.marking)
+	r.lastTime = s.eng.Now()
+	s.rates = append(s.rates, r)
+	return r
+}
+
+// AddImpulse registers an impulse reward accrued each time act fires.
+func (s *Simulator) AddImpulse(name string, act *Activity, impulse func(m *Marking) float64) *ImpulseHook {
+	h := &ImpulseHook{Name: name, Activity: act, Impulse: impulse}
+	s.impulses[act.index] = append(s.impulses[act.index], h)
+	return h
+}
+
+// RunUntil advances the simulation to the given time horizon. Rate rewards
+// are closed out exactly at the horizon.
+func (s *Simulator) RunUntil(horizon float64) {
+	s.eng.RunUntil(horizon)
+	s.closeRates(horizon)
+}
+
+// Step fires the next scheduled activity (if any) and reports whether one
+// fired.
+func (s *Simulator) Step() bool { return s.eng.Step() }
+
+// settle performs the post-firing fixed point: fire enabled instantaneous
+// activities (highest priority first) until none are enabled, then
+// reconcile timed activity schedules with the new marking.
+func (s *Simulator) settle() {
+	for chain := 0; ; chain++ {
+		if chain > s.MaxInstantChain {
+			panic(fmt.Sprintf("san: instantaneous livelock in model %s", s.model.Name))
+		}
+		a := s.nextInstant()
+		if a == nil {
+			break
+		}
+		s.fire(a)
+	}
+	s.reconcileTimed()
+	for k := range s.marking.changed {
+		delete(s.marking.changed, k)
+	}
+}
+
+// nextInstant returns the highest-priority enabled instantaneous activity,
+// or nil. Ties break by creation order for determinism.
+func (s *Simulator) nextInstant() *Activity {
+	var best *Activity
+	for _, a := range s.model.activities {
+		if a.Kind != Instantaneous || !a.Enabled(s.marking) {
+			continue
+		}
+		if best == nil || a.Priority > best.Priority {
+			best = a
+		}
+	}
+	return best
+}
+
+// reconcileTimed cancels newly-disabled timed activities, schedules
+// newly-enabled ones, and resamples activities whose reactivation places
+// changed.
+func (s *Simulator) reconcileTimed() {
+	for _, a := range s.model.activities {
+		if a.Kind != Timed {
+			continue
+		}
+		on := a.Enabled(s.marking)
+		was := s.enabled[a.index]
+		switch {
+		case on && !was:
+			s.schedule(a)
+		case !on && was:
+			s.eng.Cancel(s.scheduled[a.index])
+			s.scheduled[a.index] = nil
+			s.enabled[a.index] = false
+		case on && was && s.touched(a):
+			s.eng.Cancel(s.scheduled[a.index])
+			s.schedule(a)
+		}
+	}
+}
+
+// touched reports whether any of the activity's reactivation places changed
+// during the last firing.
+func (s *Simulator) touched(a *Activity) bool {
+	if len(a.reactivate) == 0 {
+		return false
+	}
+	for idx := range s.marking.changed {
+		if a.reactivate[idx] {
+			return true
+		}
+	}
+	return false
+}
+
+// schedule samples a delay for a and enqueues its firing.
+func (s *Simulator) schedule(a *Activity) {
+	d := a.Delay(s.marking, s.src)
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("san: activity %q sampled invalid delay %v", a.Name, d))
+	}
+	s.enabled[a.index] = true
+	s.scheduled[a.index] = s.eng.ScheduleAfter(d, a.Name, func(*des.Engine) {
+		s.scheduled[a.index] = nil
+		s.enabled[a.index] = false
+		s.fire(a)
+		s.settle()
+	})
+}
+
+// fire applies a's effect, accrues rewards and notifies the trace.
+func (s *Simulator) fire(a *Activity) {
+	now := s.eng.Now()
+	s.accrueRates(now)
+	a.Fire(s.marking)
+	for _, h := range s.impulses[a.index] {
+		h.total += h.Impulse(s.marking)
+		h.count++
+	}
+	s.refreshRates(now)
+	for _, inv := range s.invariants {
+		if err := inv.Check(s.marking); err != nil {
+			panic(fmt.Sprintf("san: invariant %q violated after %s at t=%v: %v (marking: %s)",
+				inv.Name, a.Name, now, err, s.DescribeMarking()))
+		}
+	}
+	if s.trace != nil {
+		s.trace(now, a, s.marking)
+	}
+}
+
+// accrueRates integrates each rate reward up to time t with the
+// pre-firing rate.
+func (s *Simulator) accrueRates(t float64) {
+	for _, r := range s.rates {
+		r.integral += r.lastRate * (t - r.lastTime)
+		r.lastTime = t
+	}
+}
+
+// refreshRates re-evaluates rates against the post-firing marking.
+func (s *Simulator) refreshRates(t float64) {
+	for _, r := range s.rates {
+		r.lastRate = r.Rate(s.marking)
+		r.lastTime = t
+	}
+}
+
+// closeRates integrates rates up to the horizon.
+func (s *Simulator) closeRates(t float64) {
+	for _, r := range s.rates {
+		if t > r.lastTime {
+			r.integral += r.lastRate * (t - r.lastTime)
+			r.lastTime = t
+		}
+	}
+}
+
+// Snapshot returns a copy of the token counts keyed by place name, for
+// tests and debugging.
+func (s *Simulator) Snapshot() map[string]int {
+	out := make(map[string]int, len(s.model.places))
+	for _, p := range s.model.places {
+		out[p.Name] = s.marking.Get(p)
+	}
+	return out
+}
+
+// DescribeMarking renders the non-empty places sorted by name — handy in
+// panic messages and traces.
+func (s *Simulator) DescribeMarking() string {
+	type pv struct {
+		name string
+		n    int
+	}
+	var list []pv
+	for _, p := range s.model.places {
+		if n := s.marking.Get(p); n > 0 {
+			list = append(list, pv{p.Name, n})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+	out := ""
+	for i, e := range list {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", e.name, e.n)
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	// Sample variance of that classic data set is 32/7.
+	if want := 32.0 / 7; math.Abs(a.Variance()-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", a.Variance(), want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not zeroed")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 {
+		t.Fatal("single-observation accumulator wrong")
+	}
+	iv := a.CI(0.95)
+	if !math.IsInf(iv.HalfWide, 1) {
+		t.Fatalf("CI of single observation should be infinite, got %v", iv.HalfWide)
+	}
+}
+
+func TestAccumulatorMatchesDirectComputation(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		var a Accumulator
+		var xs []float64
+		n := src.Intn(50) + 2
+		for i := 0; i < n; i++ {
+			x := src.Float64()*100 - 50
+			xs = append(xs, x)
+			a.Add(x)
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		return math.Abs(a.Mean()-mean) < 1e-9 && math.Abs(a.Variance()-variance) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Classic t-table values.
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.706},
+		{0.975, 4, 2.776},
+		{0.975, 9, 2.262},
+		{0.975, 29, 2.045},
+		{0.95, 9, 1.833},
+		{0.995, 9, 3.250},
+		{0.975, 1000, 1.962},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if math.Abs(got-c.want) > 0.005*c.want {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []int{1, 3, 10, 50} {
+		up := TQuantile(0.9, df)
+		down := TQuantile(0.1, df)
+		if math.Abs(up+down) > 1e-9 {
+			t.Errorf("df=%d: quantiles not symmetric: %v vs %v", df, up, down)
+		}
+	}
+	if TQuantile(0.5, 7) != 0 {
+		t.Error("median of t distribution should be 0")
+	}
+}
+
+func TestTCDFRoundTrip(t *testing.T) {
+	for _, df := range []int{2, 5, 20} {
+		for _, p := range []float64{0.6, 0.9, 0.975, 0.999} {
+			q := TQuantile(p, df)
+			if back := TCDF(q, df); math.Abs(back-p) > 1e-6 {
+				t.Errorf("df=%d p=%v: round trip gave %v", df, p, back)
+			}
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta edges wrong")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.2, 0.7} {
+		lhs := RegIncBeta(2.5, 1.5, x)
+		rhs := 1 - RegIncBeta(1.5, 2.5, 1-x)
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("symmetry broken at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// Empirical check: 95% CIs over normal samples should contain the true
+	// mean about 95% of the time.
+	src := rng.New(77)
+	covered := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		var a Accumulator
+		for j := 0; j < 10; j++ {
+			a.Add(5 + src.NormFloat64())
+		}
+		if a.CI(0.95).Contains(5) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("95%% CI empirical coverage = %v", frac)
+	}
+}
+
+func TestIntervalAccessors(t *testing.T) {
+	iv := Interval{Mean: 10, HalfWide: 2, Level: 0.95, N: 5}
+	if iv.Low() != 8 || iv.High() != 12 {
+		t.Fatal("interval bounds wrong")
+	}
+	if !iv.Contains(8) || !iv.Contains(12) || iv.Contains(12.01) {
+		t.Fatal("Contains wrong")
+	}
+	if iv.RelativeWidth() != 0.2 {
+		t.Fatalf("relative width = %v", iv.RelativeWidth())
+	}
+	if iv.String() == "" {
+		t.Fatal("empty String")
+	}
+	zero := Interval{Mean: 0, HalfWide: 1}
+	if !math.IsInf(zero.RelativeWidth(), 1) {
+		t.Fatal("zero-mean relative width should be +Inf")
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 1) // value 1 on [0, 2)
+	w.Observe(2, 3) // value 3 on [2, 4)
+	got := w.Finish(4)
+	if want := (1*2 + 3*2) / 4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("time-weighted mean = %v, want %v", got, want)
+	}
+	if math.Abs(w.Integral()-8) > 1e-12 {
+		t.Fatalf("integral = %v, want 8", w.Integral())
+	}
+}
+
+func TestTimeWeightedEmptyAndBackwards(t *testing.T) {
+	var w TimeWeighted
+	if w.Mean() != 0 {
+		t.Fatal("empty time-weighted mean should be 0")
+	}
+	w.Observe(5, 2)
+	w.Observe(4, 3) // non-monotone time: treated as zero-length interval
+	if got := w.Finish(6); math.Abs(got-2.5) > 1.0 {
+		// value 2 for 0 time, value 3 for 2h: mean = 3. Accept [2,3].
+		if got < 2 || got > 3 {
+			t.Fatalf("time-weighted mean after backwards observation = %v", got)
+		}
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := BatchMeans{Batches: 5}
+	src := rng.New(123)
+	for i := 0; i < 1000; i++ {
+		b.Add(10 + src.NormFloat64())
+	}
+	iv, err := b.CI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(10) {
+		t.Fatalf("batch-means CI %v does not contain true mean 10", iv)
+	}
+	if iv.N != 5 {
+		t.Fatalf("CI over %d batches, want 5", iv.N)
+	}
+}
+
+func TestBatchMeansTooFew(t *testing.T) {
+	b := BatchMeans{Batches: 10}
+	for i := 0; i < 5; i++ {
+		b.Add(1)
+	}
+	if _, err := b.CI(0.95); err == nil {
+		t.Fatal("expected error for too few observations")
+	}
+}
+
+func TestBatchMeansQuantile(t *testing.T) {
+	var b BatchMeans
+	if b.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		b.Add(float64(i))
+	}
+	if q := b.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := b.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := b.Quantile(0.5); q < 45 || q > 55 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	h.Add(10) // exactly High → overflow
+	if h.Total() != 13 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Fatalf("bin %d count = %d", i, h.Counts[i])
+		}
+		if math.Abs(h.Fraction(i)-1.0/13) > 1e-12 {
+			t.Fatalf("bin %d fraction = %v", i, h.Fraction(i))
+		}
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty histogram fraction should be 0")
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace records simulation trajectories as streams of structured
+// events (one JSON object per line), for debugging the model and for
+// post-processing individual runs — e.g. extracting failure inter-arrival
+// times or checkpoint-cycle timelines from a single trajectory.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one activity firing of a trajectory.
+type Event struct {
+	// Time is the simulation time of the firing, in hours.
+	Time float64 `json:"t"`
+	// Activity is the SAN activity that fired.
+	Activity string `json:"activity"`
+	// Marking holds the non-empty places after the firing; omitted when
+	// marking capture is disabled.
+	Marking map[string]int `json:"marking,omitempty"`
+}
+
+// Writer streams events as NDJSON.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w for event streaming.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event.
+func (w *Writer) Write(ev Event) error {
+	if err := w.enc.Encode(ev); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer; call once after the last event.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Reader iterates NDJSON events.
+type Reader struct {
+	dec *json.Decoder
+}
+
+// NewReader wraps r for event reading.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next event; io.EOF when the stream ends.
+func (r *Reader) Next() (Event, error) {
+	var ev Event
+	if err := r.dec.Decode(&ev); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	return ev, nil
+}
+
+// ReadAll drains the stream into a slice.
+func ReadAll(r io.Reader) ([]Event, error) {
+	tr := NewReader(r)
+	var out []Event
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// Summary aggregates per-activity counts and the trajectory horizon.
+type Summary struct {
+	// Counts maps activity name to firing count.
+	Counts map[string]int
+	// End is the time of the last event.
+	End float64
+}
+
+// Summarize folds an event slice into a Summary.
+func Summarize(events []Event) Summary {
+	s := Summary{Counts: make(map[string]int)}
+	for _, ev := range events {
+		s.Counts[ev.Activity]++
+		if ev.Time > s.End {
+			s.End = ev.Time
+		}
+	}
+	return s
+}
+
+// InterArrivals extracts the gaps between consecutive firings of one
+// activity — e.g. the empirical failure inter-arrival distribution.
+func InterArrivals(events []Event, activity string) []float64 {
+	var gaps []float64
+	last := -1.0
+	for _, ev := range events {
+		if ev.Activity != activity {
+			continue
+		}
+		if last >= 0 {
+			gaps = append(gaps, ev.Time-last)
+		}
+		last = ev.Time
+	}
+	return gaps
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := []Event{
+		{Time: 0.5, Activity: "checkpoint_trigger"},
+		{Time: 0.51, Activity: "dump_chkpt", Marking: map[string]int{"execution": 1}},
+		{Time: 1.2, Activity: "comp_failure"},
+	}
+	for _, ev := range events {
+		if err := w.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("read %d events", len(back))
+	}
+	if back[1].Marking["execution"] != 1 {
+		t.Fatal("marking lost in round trip")
+	}
+	if back[2].Activity != "comp_failure" || back[2].Time != 1.2 {
+		t.Fatalf("event corrupted: %+v", back[2])
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want EOF", err)
+	}
+}
+
+func TestReaderBadJSON(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("{broken")); err == nil {
+		t.Fatal("broken JSON accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Time: 1, Activity: "a"},
+		{Time: 2, Activity: "b"},
+		{Time: 3, Activity: "a"},
+	}
+	s := Summarize(events)
+	if s.Counts["a"] != 2 || s.Counts["b"] != 1 {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+	if s.End != 3 {
+		t.Fatalf("end = %v", s.End)
+	}
+	empty := Summarize(nil)
+	if len(empty.Counts) != 0 || empty.End != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestInterArrivals(t *testing.T) {
+	events := []Event{
+		{Time: 1, Activity: "fail"},
+		{Time: 2, Activity: "other"},
+		{Time: 4, Activity: "fail"},
+		{Time: 9, Activity: "fail"},
+	}
+	gaps := InterArrivals(events, "fail")
+	if len(gaps) != 2 || math.Abs(gaps[0]-3) > 1e-12 || math.Abs(gaps[1]-5) > 1e-12 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	if got := InterArrivals(events, "missing"); got != nil {
+		t.Fatalf("missing activity gaps = %v", got)
+	}
+	if got := InterArrivals(events[:1], "fail"); got != nil {
+		t.Fatalf("single occurrence gaps = %v", got)
+	}
+}

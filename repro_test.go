@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Validate(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Processors = 0
+	err := Validate(cfg)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	cfg := DefaultConfig()
+	res, err := Simulate(cfg, Options{Replications: 2, Warmup: 100, Measure: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.UsefulWorkFraction.Mean
+	if f <= 0 || f >= 1 {
+		t.Fatalf("fraction = %v", f)
+	}
+}
+
+func TestTrajectoryDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Trajectory(cfg, 9, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Trajectory(cfg, 9, 100, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UsefulWorkFraction != b.UsefulWorkFraction {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestTrajectoryRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MTTR = -1
+	if _, err := Trajectory(cfg, 1, 10, 10); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 12 {
+		t.Fatalf("%d experiments, want 12", len(exps))
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", Options{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentFig7(t *testing.T) {
+	fig, err := RunExperiment("fig7", Options{Replications: 2, Warmup: 50, Measure: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig7" || len(fig.Series) != 3 {
+		t.Fatalf("fig7 structure wrong: %s, %d series", fig.ID, len(fig.Series))
+	}
+}
+
+func TestAnalyticHelpers(t *testing.T) {
+	cfg := DefaultConfig()
+	mtbf := cfg.MTTFPerNode / float64(cfg.Nodes())
+	young, err := YoungInterval(Seconds(57), mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	daly, err := DalyInterval(Seconds(57), mtbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if young <= 0 || daly <= 0 {
+		t.Fatal("non-positive optimum intervals")
+	}
+	eff, err := AnalyticEfficiency(cfg, Minutes(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff <= 0 || eff >= 1 {
+		t.Fatalf("analytic efficiency = %v", eff)
+	}
+}
+
+func TestAnalyticEfficiencyBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MTTFPerNode = -1
+	if _, err := AnalyticEfficiency(cfg, 0.5); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestCoordinationHelpers(t *testing.T) {
+	e := ExpectedCoordinationTime(65536, Seconds(10))
+	// H_65536 ≈ ln(65536)+γ ≈ 11.67 → ≈ 116.7 s.
+	if e < Seconds(110) || e > Seconds(125) {
+		t.Fatalf("E[coord] = %v h", e)
+	}
+	p := CoordinationAbortProbability(65536, Seconds(10), Seconds(20))
+	if p < 0.99 {
+		t.Fatalf("tiny timeout abort prob = %v", p)
+	}
+}
+
+func TestSimulateProtocol(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProcsPerNode = 8
+	cfg.Processors = 1024 * 8 // 1024 nodes
+	sum, err := SimulateProtocol(cfg, 64, Seconds(0.001), 50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExpectedCoordinationTime(1024, cfg.MTTQ)
+	if math.Abs(sum.Coordination.Mean()-want)/want > 0.15 {
+		t.Fatalf("protocol coordination %v vs lumped %v", sum.Coordination.Mean(), want)
+	}
+}
+
+func TestSimulateProtocolBadInputs(t *testing.T) {
+	if _, err := SimulateProtocol(DefaultConfig(), 1, 0, 10, 1); err == nil {
+		t.Fatal("fanout 1 accepted")
+	}
+}
+
+func TestCoordinationModeConstants(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, m := range []CoordinationMode{CoordFixed, CoordNone, CoordMaxOfN} {
+		cfg.Coordination = m
+		if err := Validate(cfg); err != nil {
+			t.Fatalf("mode %v rejected: %v", m, err)
+		}
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"BlueGene/L": BlueGeneLConfig(),
+		"ASCI Q":     ASCIQConfig(),
+	} {
+		if err := Validate(cfg); err != nil {
+			t.Errorf("%s preset invalid: %v", name, err)
+		}
+	}
+	if BlueGeneLConfig().Nodes() != 65536 {
+		t.Error("BlueGene/L node count wrong")
+	}
+	if ASCIQConfig().Processors != 8192 {
+		t.Error("ASCI Q processor count wrong")
+	}
+}
