@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures figures-paper report examples clean
+.PHONY: all build test vet race bench figures figures-paper report examples clean
 
 all: build vet test
 
@@ -14,6 +14,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Data-race tier: vet plus the full suite under the race detector. The
+# execution engine (internal/exec) and everything layered on it must pass.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 # One benchmark per paper figure plus ablations and micro-benchmarks.
 bench:

@@ -8,6 +8,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
@@ -259,6 +261,29 @@ func trajectoryFraction(b *testing.B, cfg cluster.Config, seed uint64) float64 {
 		b.Fatal(err)
 	}
 	return m.UsefulWorkFraction
+}
+
+// BenchmarkEstimateParallel compares the worker-pool execution engine at one
+// worker (exact historic behavior) against one worker per core, on the
+// Figure-4a base configuration. Replications fan across workers, so the
+// expected speedup approaches min(workers, replications) on a multi-core
+// machine; results are bit-identical at any worker count.
+func BenchmarkEstimateParallel(b *testing.B) {
+	cfg := cluster.Default()
+	cfg.Coordination = cluster.CoordFixed
+	cfg.Timeout = 0
+	opts := runner.Options{Replications: 5, Warmup: 100, Measure: 600, Seed: 12345}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		opts := opts
+		opts.Workers = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Estimate(cfg, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // ---- micro-benchmarks of the substrates ----

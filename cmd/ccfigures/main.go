@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func run(args []string) error {
 		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
 		out     = fs.String("out", "", "directory for per-figure output files (default: stdout)")
 		seed    = fs.Uint64("seed", 1, "root random seed")
+		workers = fs.Int("workers", runtime.NumCPU(), "concurrent figure cells (1 = sequential; results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +52,7 @@ func run(args []string) error {
 	if *paper {
 		opts = repro.Options{Replications: 5, Warmup: 1000, Measure: 4000, Seed: *seed}
 	}
+	opts.Workers = *workers
 	if *reps > 0 {
 		opts.Replications = *reps
 	}

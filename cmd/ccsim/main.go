@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro"
 	"repro/internal/configio"
@@ -41,6 +43,8 @@ func run(args []string) error {
 		warmup       = fs.Float64("warmup", 1000, "transient hours to discard")
 		measure      = fs.Float64("measure", 4000, "measured hours per replication")
 		seed         = fs.Uint64("seed", 1, "root random seed")
+		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent replications (1 = sequential; results are identical for any value)")
+		progress     = fs.Bool("progress", false, "stream replication progress to stderr")
 		verbose      = fs.Bool("v", false, "print per-replication metrics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -110,9 +114,22 @@ func run(args []string) error {
 		return err
 	}
 
-	res, err := repro.Simulate(cfg, repro.Options{
+	opts := repro.Options{
 		Replications: *reps, Warmup: *warmup, Measure: *measure, Seed: *seed,
-	})
+		Workers: *workers,
+	}
+	if *progress {
+		// The hook is serialized by the worker pool, so plain writes are
+		// safe; \r keeps it to one live status line on a terminal.
+		opts.Progress = func(p repro.Progress) {
+			fmt.Fprintf(os.Stderr, "\rccsim: replication %d/%d  events %d  %v ",
+				p.Done, p.Total, p.Events, p.Elapsed.Round(10*time.Millisecond))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := repro.Simulate(cfg, opts)
 	if err != nil {
 		return err
 	}

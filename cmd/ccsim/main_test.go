@@ -36,6 +36,16 @@ func TestRunCorrelatedFlags(t *testing.T) {
 	}
 }
 
+func TestRunParallelWithProgress(t *testing.T) {
+	err := run([]string{
+		"-reps", "2", "-warmup", "10", "-measure", "50", "-procs", "8192",
+		"-workers", "2", "-progress",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadMode(t *testing.T) {
 	err := run([]string{"-coordination", "psychic"})
 	if err == nil || !strings.Contains(err.Error(), "coordination") {

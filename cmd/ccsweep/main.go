@@ -8,13 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/exec"
 )
 
 func main() {
@@ -39,6 +42,7 @@ func run(args []string) error {
 		warmup       = fs.Float64("warmup", 300, "transient hours to discard")
 		measure      = fs.Float64("measure", 1500, "measured hours per replication")
 		seed         = fs.Uint64("seed", 1, "root random seed")
+		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows (1 = sequential; results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,8 +72,11 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("%-16s %-24s %-24s\n", *param, "useful work fraction", "total useful work")
-	for i, raw := range strings.Split(*values, ",") {
+	// Parse and validate every row before dispatch, so bad input surfaces
+	// in input order; the simulations then fan out on the worker pool and
+	// the rows print in input order once all are done.
+	var vals []float64
+	for _, raw := range strings.Split(*values, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
 		if err != nil {
 			return fmt.Errorf("value %q: %w", raw, err)
@@ -79,14 +86,27 @@ func run(args []string) error {
 		if err := repro.Validate(cfg); err != nil {
 			return fmt.Errorf("value %v: %w", v, err)
 		}
-		res, err := repro.Simulate(cfg, repro.Options{
-			Replications: *reps, Warmup: *warmup, Measure: *measure,
-			Seed: *seed + uint64(i)*1000003,
+		vals = append(vals, v)
+	}
+
+	pool := exec.Pool{Workers: exec.WorkerCount(*workers)}
+	results, err := exec.Map(context.Background(), pool, len(vals),
+		func(_ context.Context, i int) (repro.Result, error) {
+			cfg := base
+			apply(&cfg, vals[i])
+			return repro.Simulate(cfg, repro.Options{
+				Replications: *reps, Warmup: *warmup, Measure: *measure,
+				Seed:    *seed + uint64(i)*1000003,
+				Workers: 1, // the row sweep is already parallel
+			})
 		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%-16g %-24v %-24v\n", v, res.UsefulWorkFraction, res.TotalUsefulWork)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-16s %-24s %-24s\n", *param, "useful work fraction", "total useful work")
+	for i, res := range results {
+		fmt.Printf("%-16g %-24v %-24v\n", vals[i], res.UsefulWorkFraction, res.TotalUsefulWork)
 	}
 	return nil
 }

@@ -41,6 +41,19 @@ func TestSweepCoordinationModes(t *testing.T) {
 	}
 }
 
+func TestSweepParallelRows(t *testing.T) {
+	if err := run(quickArgs("-param", "procs", "-values", "8192,16384,32768", "-workers", "3")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRejectsBadValueBeforeSimulating(t *testing.T) {
+	err := run(quickArgs("-param", "procs", "-values", "8192,-5"))
+	if err == nil || !strings.Contains(err.Error(), "-5") {
+		t.Fatalf("invalid row accepted: %v", err)
+	}
+}
+
 func TestSweepRequiresValues(t *testing.T) {
 	err := run([]string{"-param", "procs"})
 	if err == nil || !strings.Contains(err.Error(), "-values") {

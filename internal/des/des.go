@@ -22,10 +22,29 @@ type Event struct {
 	handler Handler
 	seq     uint64 // FIFO tie-break for simultaneous events
 	index   int    // heap index; -1 when not queued
+	state   eventState
 }
 
-// Cancelled reports whether the event was removed before firing.
-func (ev *Event) Cancelled() bool { return ev.index == -1 && ev.handler == nil }
+// eventState distinguishes an event that ran from one that was removed:
+// both leave the queue (index -1, handler nil), so a separate state is the
+// only way Cancelled can answer truthfully.
+type eventState uint8
+
+const (
+	eventPending eventState = iota
+	eventFired
+	eventCancelled
+)
+
+// Cancelled reports whether the event was removed before firing. An event
+// that already fired is not cancelled.
+func (ev *Event) Cancelled() bool { return ev.state == eventCancelled }
+
+// Fired reports whether the event already executed.
+func (ev *Event) Fired() bool { return ev.state == eventFired }
+
+// Pending reports whether the event is still scheduled.
+func (ev *Event) Pending() bool { return ev.state == eventPending }
 
 // Engine is a sequential discrete-event simulator. The zero value is not
 // usable; construct with New.
@@ -83,6 +102,7 @@ func (e *Engine) Cancel(ev *Event) {
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
 	ev.handler = nil
+	ev.state = eventCancelled
 }
 
 // Step fires the next event, advancing the clock, and reports whether an
@@ -95,6 +115,7 @@ func (e *Engine) Step() bool {
 	e.now = ev.Time
 	h := ev.handler
 	ev.handler = nil
+	ev.state = eventFired
 	e.fired++
 	h(e)
 	return true

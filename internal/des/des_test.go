@@ -78,6 +78,41 @@ func TestCancel(t *testing.T) {
 	e.Cancel(nil)
 }
 
+// TestFiredEventIsNotCancelled is the regression test for the historic
+// Cancelled bug: firing an event also dequeues it and nils its handler, so
+// a cancelled-means-dequeued check reported fired events as cancelled.
+func TestFiredEventIsNotCancelled(t *testing.T) {
+	e := New()
+	fired := e.Schedule(1, "fires", func(*Engine) {})
+	cancelled := e.Schedule(2, "cancelled", func(*Engine) {})
+
+	if !fired.Pending() || !cancelled.Pending() {
+		t.Fatal("freshly scheduled events must be pending")
+	}
+	if fired.Cancelled() || fired.Fired() {
+		t.Fatal("pending event reports a final state")
+	}
+
+	e.Cancel(cancelled)
+	e.Run()
+
+	if fired.Cancelled() {
+		t.Fatal("fired event reports Cancelled")
+	}
+	if !fired.Fired() {
+		t.Fatal("fired event does not report Fired")
+	}
+	if !cancelled.Cancelled() || cancelled.Fired() {
+		t.Fatal("cancelled event state wrong")
+	}
+
+	// Cancelling an already-fired event must not rewrite history.
+	e.Cancel(fired)
+	if fired.Cancelled() || !fired.Fired() {
+		t.Fatal("Cancel after firing changed the event state")
+	}
+}
+
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var fired []string

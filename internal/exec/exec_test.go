@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := Map(context.Background(), Pool{Workers: workers}, 100,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	if w := WorkerCount(3); w != 3 {
+		t.Fatalf("WorkerCount(3) = %d", w)
+	}
+	if w := WorkerCount(0); w != 1 {
+		t.Fatalf("WorkerCount(0) = %d", w)
+	}
+	if w := WorkerCount(-1); w < 1 {
+		t.Fatalf("WorkerCount(-1) = %d", w)
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	// Every job fails; whatever the scheduling, the reported failure must
+	// be the lowest-index one among those that ran, and with a single
+	// worker that is always job 0.
+	errWant := errors.New("boom 0")
+	err := Pool{Workers: 1}.Run(context.Background(), []Job{
+		func(context.Context) error { return errWant },
+		func(context.Context) error { return errors.New("boom 1") },
+	})
+	if !errors.Is(err, errWant) {
+		t.Fatalf("err = %v, want %v", err, errWant)
+	}
+}
+
+func TestRunStopsDispatchAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) error {
+			ran.Add(1)
+			if i == 0 {
+				return errors.New("first job fails")
+			}
+			return nil
+		}
+	}
+	if err := (Pool{Workers: 1}).Run(context.Background(), jobs); err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n != 1 {
+		t.Fatalf("%d jobs ran after sequential failure, want 1", n)
+	}
+}
+
+func TestRunCapturesPanic(t *testing.T) {
+	err := Pool{Workers: 4}.Run(context.Background(), []Job{
+		func(context.Context) error { return nil },
+		func(context.Context) error { panic("kaboom") },
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 1 || fmt.Sprint(pe.Value) != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic error = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	jobs := make([]Job, 100)
+	for i := range jobs {
+		jobs[i] = func(context.Context) error {
+			ran.Add(1)
+			cancel() // cancel as soon as any job runs
+			return nil
+		}
+	}
+	err := Pool{Workers: 2}.Run(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+func TestProgressSnapshots(t *testing.T) {
+	var snaps []Progress
+	pool := Pool{
+		Workers:    3,
+		OnProgress: func(p Progress) { snaps = append(snaps, p) }, // serialized by the pool
+	}
+	const n = 20
+	_, err := Map(context.Background(), pool, n, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One start and one completion notification per job.
+	if len(snaps) != 2*n {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), 2*n)
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != n || last.Queued != 0 || last.Running != 0 || last.Failed != 0 || last.Total != n {
+		t.Fatalf("final snapshot %+v", last)
+	}
+	for _, p := range snaps {
+		if p.Queued+p.Running+p.Done != p.Total {
+			t.Fatalf("inconsistent snapshot %+v", p)
+		}
+		if p.Elapsed < 0 {
+			t.Fatalf("negative elapsed in %+v", p)
+		}
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	if err := (Pool{Workers: 8}).Run(context.Background(), nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	out, err := Map(context.Background(), Pool{}, 0, func(context.Context, int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0) = %v, %v", out, err)
+	}
+}
+
+func TestMapConcurrentStress(t *testing.T) {
+	// Exercised under -race by the race tier target: many workers, shared
+	// progress callback, per-index result slots.
+	pool := Pool{Workers: 8, OnProgress: func(Progress) {}}
+	got, err := Map(context.Background(), pool, 500, func(_ context.Context, i int) (float64, error) {
+		return float64(i) / 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != float64(i)/3 {
+			t.Fatalf("result[%d] = %v", i, v)
+		}
+	}
+}

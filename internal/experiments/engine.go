@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/exec"
+	"repro/internal/runner"
+)
+
+// seriesSpec declares one curve of a figure before anything runs: the base
+// configuration, the x values, and the per-cell mutation. Declaring every
+// series up front lets a figure submit all its (series, x) cells to the
+// worker pool as one flat job grid instead of sweeping series by series.
+type seriesSpec struct {
+	name   string
+	base   cluster.Config
+	xs     []float64
+	mutate func(cfg *cluster.Config, x float64)
+}
+
+// runSpecs measures every cell of the given specs on the bounded worker
+// pool (opts.Workers; a cell is the unit of parallelism, so each cell's
+// replications run sequentially) and assembles the series in declaration
+// order. A cell's seed depends only on (opts.Seed, series name, x index) —
+// the same derivation the sequential sweeps used — so the whole grid is
+// bit-identical for every worker count and scheduling.
+func runSpecs(specs []seriesSpec, opts runner.Options) ([]Series, error) {
+	type cellRef struct{ si, xi int }
+	var cells []cellRef
+	for si, sp := range specs {
+		for xi := range sp.xs {
+			cells = append(cells, cellRef{si, xi})
+		}
+	}
+	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	points, err := exec.Map(context.Background(), pool, len(cells),
+		func(_ context.Context, i int) (Point, error) {
+			sp := specs[cells[i].si]
+			x := sp.xs[cells[i].xi]
+			cfg := sp.base
+			sp.mutate(&cfg, x)
+			o := opts
+			o.Seed = opts.Seed*1000003 + uint64(cells[i].xi)*7919 + hashName(sp.name)
+			o.Workers = 1 // the grid is already parallel; don't oversubscribe
+			o.Progress = nil
+			p, err := cell(cfg, x, o)
+			if err != nil {
+				return Point{}, fmt.Errorf("experiments: series %s x=%v: %w", sp.name, x, err)
+			}
+			return p, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, len(specs))
+	for si, sp := range specs {
+		out[si] = Series{Name: sp.name, Points: make([]Point, 0, len(sp.xs))}
+	}
+	for i, c := range cells {
+		out[c.si].Points = append(out[c.si].Points, points[i])
+	}
+	return out, nil
+}
+
+// sweep runs a single series — the one-spec convenience over runSpecs for
+// experiments that mix measured and analytic series.
+func sweep(base cluster.Config, name string, xs []float64,
+	mutate func(cfg *cluster.Config, x float64), opts runner.Options) (Series, error) {
+	series, err := runSpecs([]seriesSpec{{name: name, base: base, xs: xs, mutate: mutate}}, opts)
+	if err != nil {
+		return Series{}, err
+	}
+	return series[0], nil
+}
+
+// cell estimates one configuration and converts it to a Point.
+func cell(cfg cluster.Config, x float64, opts runner.Options) (Point, error) {
+	res, err := runner.Estimate(cfg, opts)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{X: x, Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork}, nil
+}
+
+// hashName derives a stable seed component from a series name.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

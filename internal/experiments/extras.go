@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -27,25 +29,36 @@ func ExtraBreakdown(opts runner.Options) (*Figure, error) {
 		useful, repeated, checkpoint, recovery, reboot stats.Accumulator
 	}
 	rows := make([]row, len(procSweep))
+	// Seeds are drawn from the root stream in (cell, replication) order
+	// before dispatch, and the trajectories then fan out as one flat job
+	// grid; the accumulators are filled in the same order afterwards, so
+	// the figure is bit-identical for every worker count.
 	root := rng.New(opts.Seed)
-	for i, procs := range procSweep {
-		cfg := baseConfig()
-		cfg.Processors = procs
-		for r := 0; r < opts.Replications; r++ {
-			in, err := model.New(cfg, root.Uint64())
+	seeds := make([]uint64, len(procSweep)*opts.Replications)
+	for j := range seeds {
+		seeds[j] = root.Uint64()
+	}
+	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	metrics, err := exec.Map(context.Background(), pool, len(seeds),
+		func(_ context.Context, j int) (model.Metrics, error) {
+			cfg := baseConfig()
+			cfg.Processors = procSweep[j/opts.Replications]
+			in, err := model.New(cfg, seeds[j])
 			if err != nil {
-				return nil, err
+				return model.Metrics{}, err
 			}
-			m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
-			if err != nil {
-				return nil, err
-			}
-			rows[i].useful.Add(m.UsefulWorkFraction)
-			rows[i].repeated.Add(m.RepeatedWorkFraction)
-			rows[i].checkpoint.Add(m.Breakdown.Quiesce + m.Breakdown.Dump + m.Breakdown.FSWait)
-			rows[i].recovery.Add(m.Breakdown.Recovery)
-			rows[i].reboot.Add(m.Breakdown.Reboot)
-		}
+			return in.RunSteadyState(opts.Warmup, opts.Measure)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for j, m := range metrics {
+		i := j / opts.Replications
+		rows[i].useful.Add(m.UsefulWorkFraction)
+		rows[i].repeated.Add(m.RepeatedWorkFraction)
+		rows[i].checkpoint.Add(m.Breakdown.Quiesce + m.Breakdown.Dump + m.Breakdown.FSWait)
+		rows[i].recovery.Add(m.Breakdown.Recovery)
+		rows[i].reboot.Add(m.Breakdown.Reboot)
 	}
 	series := []struct {
 		name string
@@ -94,18 +107,24 @@ func ExtraAblations(opts runner.Options) (*Figure, error) {
 		{"no buffered recovery", func(c *cluster.Config) { c.NoBufferedRecovery = true }},
 	}
 	xs := floats(procSweep)
+	var specs []seriesSpec
 	for _, v := range variants {
 		v := v
-		s, err := sweep(baseConfig(), v.name, xs,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: v.name,
+			base: baseConfig(),
+			xs:   xs,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.Processors = int(x)
 				v.mutate(cfg)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 

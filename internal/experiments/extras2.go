@@ -32,20 +32,26 @@ func ExtraStragglers(opts runner.Options) (*Figure, error) {
 		{"1% stragglers 100x", 0.01, 100},
 		{"10% stragglers 10x", 0.10, 10},
 	}
+	var specs []seriesSpec
 	for _, v := range variants {
 		v := v
-		s, err := sweep(base, v.name, xs,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: v.name,
+			base: base,
+			xs:   xs,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.ProcsPerNode = 1
 				cfg.Processors = int(x)
 				cfg.StragglerFraction = v.fraction
 				cfg.StragglerMTTQMultiplier = v.mult
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 

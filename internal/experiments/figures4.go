@@ -22,44 +22,6 @@ func baseConfig() cluster.Config {
 	return cfg
 }
 
-// cell estimates one configuration and converts it to a Point.
-func cell(cfg cluster.Config, x float64, opts runner.Options) (Point, error) {
-	res, err := runner.Estimate(cfg, opts)
-	if err != nil {
-		return Point{}, err
-	}
-	return Point{X: x, Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork}, nil
-}
-
-// sweep runs one series over a list of x values, deriving each cell's
-// config from the base via mutate. Seeds are decorrelated per cell.
-func sweep(base cluster.Config, name string, xs []float64,
-	mutate func(cfg *cluster.Config, x float64), opts runner.Options) (Series, error) {
-	s := Series{Name: name, Points: make([]Point, 0, len(xs))}
-	for i, x := range xs {
-		cfg := base
-		mutate(&cfg, x)
-		o := opts
-		o.Seed = opts.Seed*1000003 + uint64(i)*7919 + hashName(name)
-		p, err := cell(cfg, x, o)
-		if err != nil {
-			return Series{}, fmt.Errorf("experiments: series %s x=%v: %w", name, x, err)
-		}
-		s.Points = append(s.Points, p)
-	}
-	return s, nil
-}
-
-// hashName derives a stable seed component from a series name.
-func hashName(name string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
 func floats(ints []int) []float64 {
 	out := make([]float64, len(ints))
 	for i, v := range ints {
@@ -77,18 +39,24 @@ func Fig4a(opts runner.Options) (*Figure, error) {
 		XLabel: "processors",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, mttf := range []float64{0.125, 0.25, 0.5, 1, 2} {
 		mttf := mttf
-		s, err := sweep(baseConfig(), fmt.Sprintf("MTTF=%gyr", mttf), floats(procSweep),
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("MTTF=%gyr", mttf),
+			base: baseConfig(),
+			xs:   floats(procSweep),
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.Processors = int(x)
 				cfg.MTTFPerNode = cluster.Years(mttf)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -101,18 +69,24 @@ func Fig4b(opts runner.Options) (*Figure, error) {
 		XLabel: "interval (min)",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, procs := range procSweep {
 		procs := procs
-		s, err := sweep(baseConfig(), fmt.Sprintf("procs=%d", procs), intervalSweepMinutes,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("procs=%d", procs),
+			base: baseConfig(),
+			xs:   intervalSweepMinutes,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.Processors = procs
 				cfg.CheckpointInterval = cluster.Minutes(x)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -125,18 +99,24 @@ func Fig4c(opts runner.Options) (*Figure, error) {
 		XLabel: "processors",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, mttr := range []float64{10, 20, 40, 80} {
 		mttr := mttr
-		s, err := sweep(baseConfig(), fmt.Sprintf("MTTR=%gmin", mttr), floats(procSweep),
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("MTTR=%gmin", mttr),
+			base: baseConfig(),
+			xs:   floats(procSweep),
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.Processors = int(x)
 				cfg.MTTR = cluster.Minutes(mttr)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -149,18 +129,24 @@ func Fig4d(opts runner.Options) (*Figure, error) {
 		XLabel: "interval (min)",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, mttr := range []float64{10, 20, 40, 80} {
 		mttr := mttr
-		s, err := sweep(baseConfig(), fmt.Sprintf("MTTR=%gmin", mttr), intervalSweepMinutes,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("MTTR=%gmin", mttr),
+			base: baseConfig(),
+			xs:   intervalSweepMinutes,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.MTTR = cluster.Minutes(mttr)
 				cfg.CheckpointInterval = cluster.Minutes(x)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -173,18 +159,24 @@ func Fig4e(opts runner.Options) (*Figure, error) {
 		XLabel: "processors",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, iv := range intervalSweepMinutes {
 		iv := iv
-		s, err := sweep(baseConfig(), fmt.Sprintf("interval=%gmin", iv), floats(procSweep),
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("interval=%gmin", iv),
+			base: baseConfig(),
+			xs:   floats(procSweep),
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.Processors = int(x)
 				cfg.CheckpointInterval = cluster.Minutes(iv)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -197,18 +189,24 @@ func Fig4f(opts runner.Options) (*Figure, error) {
 		XLabel: "interval (min)",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, mttf := range []float64{1, 2, 4, 8, 16} {
 		mttf := mttf
-		s, err := sweep(baseConfig(), fmt.Sprintf("MTTF=%gyr", mttf), intervalSweepMinutes,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("MTTF=%gyr", mttf),
+			base: baseConfig(),
+			xs:   intervalSweepMinutes,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.MTTFPerNode = cluster.Years(mttf)
 				cfg.CheckpointInterval = cluster.Minutes(x)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -230,18 +228,24 @@ func figNodes(id string, procsPerNode int, nodeSweep []float64, opts runner.Opti
 		XLabel: "nodes",
 		YLabel: "total useful work",
 	}
+	var specs []seriesSpec
 	for _, mttf := range []float64{1, 2} {
 		mttf := mttf
-		s, err := sweep(baseConfig(), fmt.Sprintf("MTTF=%gyr", mttf), nodeSweep,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("MTTF=%gyr", mttf),
+			base: baseConfig(),
+			xs:   nodeSweep,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.ProcsPerNode = procsPerNode
 				cfg.Processors = int(x) * procsPerNode
 				cfg.MTTFPerNode = cluster.Years(mttf)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }

@@ -22,19 +22,25 @@ func Fig5(opts runner.Options) (*Figure, error) {
 	for p := 1; p <= 1<<30; p *= 4 {
 		procs = append(procs, float64(p))
 	}
+	var specs []seriesSpec
 	for _, mttqSec := range []float64{10, 2, 0.5} {
 		mttqSec := mttqSec
-		s, err := sweep(coordOnlyConfig(), fmt.Sprintf("MTTQ=%gs", mttqSec), procs,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("MTTQ=%gs", mttqSec),
+			base: coordOnlyConfig(),
+			xs:   procs,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.ProcsPerNode = 1 // any count divides; x axis is processors
 				cfg.Processors = int(x)
 				cfg.MTTQ = cluster.Seconds(mttqSec)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -65,34 +71,31 @@ func Fig6(opts runner.Options) (*Figure, error) {
 
 	noCoord := base
 	noCoord.Coordination = cluster.CoordNone
-	s, err := sweep(noCoord, "no coordination", xs,
-		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
-	if err != nil {
-		return nil, err
-	}
-	fig.Series = append(fig.Series, s)
-
 	coord := base
 	coord.Coordination = cluster.CoordMaxOfN
-	s, err = sweep(coord, "no timeout", xs,
-		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+
+	setProcs := func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }
+	specs := []seriesSpec{
+		{name: "no coordination", base: noCoord, xs: xs, mutate: setProcs},
+		{name: "no timeout", base: coord, xs: xs, mutate: setProcs},
+	}
+	for _, timeoutSec := range []float64{120, 100, 80, 60, 40, 20} {
+		timeoutSec := timeoutSec
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("timeout=%gs", timeoutSec),
+			base: coord,
+			xs:   xs,
+			mutate: func(cfg *cluster.Config, x float64) {
+				cfg.Processors = int(x)
+				cfg.Timeout = cluster.Seconds(timeoutSec)
+			},
+		})
+	}
+	series, err := runSpecs(specs, opts)
 	if err != nil {
 		return nil, err
 	}
-	fig.Series = append(fig.Series, s)
-
-	for _, timeoutSec := range []float64{120, 100, 80, 60, 40, 20} {
-		timeoutSec := timeoutSec
-		s, err := sweep(coord, fmt.Sprintf("timeout=%gs", timeoutSec), xs,
-			func(cfg *cluster.Config, x float64) {
-				cfg.Processors = int(x)
-				cfg.Timeout = cluster.Seconds(timeoutSec)
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
-	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -110,20 +113,26 @@ func Fig7(opts runner.Options) (*Figure, error) {
 	base.Processors = 256 * 1024
 	base.MTTFPerNode = cluster.Years(3)
 	pes := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	var specs []seriesSpec
 	for _, r := range []float64{400, 800, 1600} {
 		r := r
-		s, err := sweep(base, fmt.Sprintf("r=%g", r), pes,
-			func(cfg *cluster.Config, x float64) {
+		specs = append(specs, seriesSpec{
+			name: fmt.Sprintf("r=%g", r),
+			base: base,
+			xs:   pes,
+			mutate: func(cfg *cluster.Config, x float64) {
 				cfg.ProbCorrelated = x
 				if x > 0 {
 					cfg.CorrelatedFactor = r
 				}
-			}, opts)
-		if err != nil {
-			return nil, err
-		}
-		fig.Series = append(fig.Series, s)
+			},
+		})
 	}
+	series, err := runSpecs(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -139,23 +148,20 @@ func Fig8(opts runner.Options) (*Figure, error) {
 	}
 	base := cluster.Default()
 	base.MTTFPerNode = cluster.Years(3)
-	xs := floats(procSweep)
-
-	s, err := sweep(base, "without correlated failure", xs,
-		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
-	if err != nil {
-		return nil, err
-	}
-	fig.Series = append(fig.Series, s)
-
 	with := base
 	with.CorrelatedFactor = 400
 	with.GenericCorrelatedCoefficient = 0.0025
-	s, err = sweep(with, "with correlated failure", xs,
-		func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }, opts)
+
+	xs := floats(procSweep)
+	setProcs := func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }
+	specs := []seriesSpec{
+		{name: "without correlated failure", base: base, xs: xs, mutate: setProcs},
+		{name: "with correlated failure", base: with, xs: xs, mutate: setProcs},
+	}
+	series, err := runSpecs(specs, opts)
 	if err != nil {
 		return nil, err
 	}
-	fig.Series = append(fig.Series, s)
+	fig.Series = series
 	return fig, nil
 }

@@ -91,6 +91,11 @@ func (in *Instance) Useful() float64 { return in.useful() }
 // Now returns the instance's current simulated time.
 func (in *Instance) Now() float64 { return in.sim.Now() }
 
+// Fired returns the number of activity firings executed so far — the
+// trajectory's event count, used for progress reporting and throughput
+// accounting by the runner.
+func (in *Instance) Fired() uint64 { return in.sim.Fired() }
+
 // Snapshot exposes the current marking by place name (tests only).
 func (in *Instance) Snapshot() map[string]int { return in.sim.Snapshot() }
 

@@ -6,9 +6,11 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -78,25 +80,37 @@ func OptimalTimeout(base cluster.Config, candidates []float64, opts runner.Optio
 	return search(base, candidates, mutate, maxFraction, opts)
 }
 
-// search evaluates every candidate and ranks by the objective mean.
+// search evaluates every candidate as one job on the worker pool
+// (opts.Workers wide; candidate seeds are derived from the candidate index
+// alone, so the sweep is deterministic for any worker count) and ranks by
+// the objective mean.
 func search(base cluster.Config, xs []float64,
 	mutate func(*cluster.Config, float64), obj objective, opts runner.Options) (Search, error) {
-	var out Search
+	seedBase := opts.Seed
+	if seedBase == 0 {
+		seedBase = 1
+	}
+	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	points, err := exec.Map(context.Background(), pool, len(xs),
+		func(_ context.Context, i int) (Point, error) {
+			cfg := base
+			mutate(&cfg, xs[i])
+			o := opts
+			o.Seed = seedBase*1000003 + uint64(i)*7919
+			o.Workers = 1 // the candidate sweep is already parallel
+			o.Progress = nil
+			res, err := runner.Estimate(cfg, o)
+			if err != nil {
+				return Point{}, fmt.Errorf("opt: candidate %v: %w", xs[i], err)
+			}
+			return Point{X: xs[i], Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork}, nil
+		})
+	if err != nil {
+		return Search{}, err
+	}
+	out := Search{Points: points}
 	bestIdx, runnerUp := -1, -1
-	for i, x := range xs {
-		cfg := base
-		mutate(&cfg, x)
-		o := opts
-		if o.Seed == 0 {
-			o.Seed = 1
-		}
-		o.Seed = o.Seed*1000003 + uint64(i)*7919
-		res, err := runner.Estimate(cfg, o)
-		if err != nil {
-			return Search{}, fmt.Errorf("opt: candidate %v: %w", x, err)
-		}
-		p := Point{X: x, Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork}
-		out.Points = append(out.Points, p)
+	for i, p := range points {
 		switch {
 		case bestIdx < 0 || value(p, obj) > value(out.Points[bestIdx], obj):
 			runnerUp = bestIdx

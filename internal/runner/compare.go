@@ -1,11 +1,13 @@
 package runner
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/model"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -34,6 +36,15 @@ func (c Comparison) Significant() bool {
 // dynamics coincide. The returned intervals are paired-t CIs of the
 // differences (B − A).
 func Compare(a, b cluster.Config, opts Options) (Comparison, error) {
+	return CompareContext(context.Background(), a, b, opts)
+}
+
+// CompareContext is Compare with cancellation. Each replication pair
+// (A and B under the same seed) is one job on the worker pool; as with
+// EstimateContext, seeds are assigned before dispatch and the reduction
+// runs in replication order, so the comparison is bit-identical for every
+// Workers value.
+func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Comparison, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return Comparison{}, err
@@ -44,31 +55,41 @@ func Compare(a, b cluster.Config, opts Options) (Comparison, error) {
 	if err := b.Validate(); err != nil {
 		return Comparison{}, fmt.Errorf("runner: config B: %w", err)
 	}
-	root := rng.New(opts.Seed)
+	seeds := replicationSeeds(opts.Seed, opts.Replications)
+	type pair struct{ a, b model.Metrics }
+	var events atomic.Uint64
+	pairs, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
+		func(_ context.Context, r int) (pair, error) {
+			ma, fa, err := runOne(a, seeds[r], opts)
+			events.Add(fa)
+			if err != nil {
+				return pair{}, err
+			}
+			mb, fb, err := runOne(b, seeds[r], opts)
+			events.Add(fb)
+			if err != nil {
+				return pair{}, err
+			}
+			return pair{ma, mb}, nil
+		})
+	if err != nil {
+		return Comparison{}, err
+	}
 	var (
 		comp              Comparison
 		fracDiff, totDiff stats.Accumulator
 		fracA, totA       stats.Accumulator
 		fracB, totB       stats.Accumulator
 	)
-	for r := 0; r < opts.Replications; r++ {
-		seed := root.Uint64()
-		ma, err := runOne(a, seed, opts)
-		if err != nil {
-			return Comparison{}, err
-		}
-		mb, err := runOne(b, seed, opts)
-		if err != nil {
-			return Comparison{}, err
-		}
-		comp.A.PerReplication = append(comp.A.PerReplication, ma)
-		comp.B.PerReplication = append(comp.B.PerReplication, mb)
-		fracA.Add(ma.UsefulWorkFraction)
-		fracB.Add(mb.UsefulWorkFraction)
-		totA.Add(ma.TotalUsefulWork)
-		totB.Add(mb.TotalUsefulWork)
-		fracDiff.Add(mb.UsefulWorkFraction - ma.UsefulWorkFraction)
-		totDiff.Add(mb.TotalUsefulWork - ma.TotalUsefulWork)
+	for _, p := range pairs {
+		comp.A.PerReplication = append(comp.A.PerReplication, p.a)
+		comp.B.PerReplication = append(comp.B.PerReplication, p.b)
+		fracA.Add(p.a.UsefulWorkFraction)
+		fracB.Add(p.b.UsefulWorkFraction)
+		totA.Add(p.a.TotalUsefulWork)
+		totB.Add(p.b.TotalUsefulWork)
+		fracDiff.Add(p.b.UsefulWorkFraction - p.a.UsefulWorkFraction)
+		totDiff.Add(p.b.TotalUsefulWork - p.a.TotalUsefulWork)
 	}
 	comp.A.UsefulWorkFraction = fracA.CI(opts.Confidence)
 	comp.A.TotalUsefulWork = totA.CI(opts.Confidence)
@@ -79,11 +100,13 @@ func Compare(a, b cluster.Config, opts Options) (Comparison, error) {
 	return comp, nil
 }
 
-// runOne simulates one trajectory.
-func runOne(cfg cluster.Config, seed uint64, opts Options) (model.Metrics, error) {
+// runOne simulates one trajectory, returning its metrics and the number of
+// simulator events fired (for progress reporting).
+func runOne(cfg cluster.Config, seed uint64, opts Options) (model.Metrics, uint64, error) {
 	in, err := model.New(cfg, seed)
 	if err != nil {
-		return model.Metrics{}, err
+		return model.Metrics{}, 0, err
 	}
-	return in.RunSteadyState(opts.Warmup, opts.Measure)
+	m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
+	return m, in.Fired(), err
 }

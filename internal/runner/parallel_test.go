@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestEstimateWorkerInvariance is the contract of the parallel execution
+// engine: for the same seed, Estimate must produce byte-identical Results
+// for every worker count, because replication seeds are assigned before
+// dispatch and results are reduced in replication order.
+func TestEstimateWorkerInvariance(t *testing.T) {
+	cfg := cluster.Default()
+	base := quickOpts()
+	base.Replications = 4
+
+	seq := base
+	seq.Workers = 1
+	want, err := Estimate(cfg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 4, runtime.NumCPU(), -1, 100} {
+		o := base
+		o.Workers = workers
+		got, err := Estimate(cfg, o)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d result differs from sequential:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestCompareWorkerInvariance extends the same contract to the paired
+// common-random-numbers estimator.
+func TestCompareWorkerInvariance(t *testing.T) {
+	a := cluster.Default()
+	b := a
+	b.MTTR *= 2
+	base := quickOpts()
+
+	seq := base
+	seq.Workers = 1
+	want, err := Compare(a, b, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		o := base
+		o.Workers = workers
+		got, err := Compare(a, b, o)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Workers=%d comparison differs from sequential", workers)
+		}
+	}
+}
+
+func TestEstimateProgress(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		last  Progress
+		calls int
+	)
+	o := quickOpts()
+	o.Workers = 2
+	o.Progress = func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		last = p
+	}
+	if _, err := Estimate(cluster.Default(), o); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress hook never called")
+	}
+	if last.Done != o.Replications || last.Total != o.Replications {
+		t.Fatalf("final progress %+v, want Done=Total=%d", last, o.Replications)
+	}
+	if last.Events == 0 {
+		t.Fatal("no simulation events reported")
+	}
+	if last.Elapsed <= 0 {
+		t.Fatalf("elapsed %v", last.Elapsed)
+	}
+}
+
+func TestEstimateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := quickOpts()
+	o.Workers = 2
+	if _, err := EstimateContext(ctx, cluster.Default(), o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -6,9 +6,13 @@
 package runner
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -29,6 +33,29 @@ type Options struct {
 	// Seed is the root seed; replication r uses an independent sub-stream
 	// derived from it. Default 1.
 	Seed uint64
+	// Workers bounds how many replications simulate concurrently on the
+	// internal/exec pool. 0 (the zero-value default) and 1 run
+	// sequentially — the historic behavior — and a negative value means
+	// one worker per CPU. The estimate is bit-identical for every value:
+	// replication seeds are drawn from the root stream before dispatch
+	// and results are reduced in replication order.
+	Workers int
+	// Progress, when non-nil, receives a snapshot after every
+	// replication state change. Calls are serialized by the pool; the
+	// callback must be fast.
+	Progress func(Progress)
+}
+
+// Progress is a snapshot of an in-flight estimation.
+type Progress struct {
+	// Done and Total count finished and scheduled replications (for
+	// Compare, replication pairs).
+	Done, Total int
+	// Events is the cumulative number of simulation events fired across
+	// the completed replications.
+	Events uint64
+	// Elapsed is the wall time since the estimation started.
+	Elapsed time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -80,6 +107,12 @@ type Result struct {
 
 // Estimate runs the model for cfg under the given options.
 func Estimate(cfg cluster.Config, opts Options) (Result, error) {
+	return EstimateContext(context.Background(), cfg, opts)
+}
+
+// EstimateContext is Estimate with cancellation: when ctx is cancelled no
+// further replications start and the context error is returned.
+func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
@@ -87,24 +120,59 @@ func Estimate(cfg cluster.Config, opts Options) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, fmt.Errorf("runner: %w", err)
 	}
-	root := rng.New(opts.Seed)
+	// Seeds are drawn from the root stream in replication order before any
+	// replication is dispatched, so the assignment seed↔replication is a
+	// pure function of opts.Seed — the core of the worker-count
+	// determinism guarantee.
+	seeds := replicationSeeds(opts.Seed, opts.Replications)
+	var events atomic.Uint64
+	metrics, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
+		func(_ context.Context, r int) (model.Metrics, error) {
+			m, fired, err := runOne(cfg, seeds[r], opts)
+			events.Add(fired)
+			return m, err
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	return reduce(metrics, opts), nil
+}
+
+// replicationSeeds derives one independent sub-stream seed per replication
+// from the root seed.
+func replicationSeeds(seed uint64, n int) []uint64 {
+	root := rng.New(seed)
+	seeds := make([]uint64, n)
+	for r := range seeds {
+		seeds[r] = root.Uint64()
+	}
+	return seeds
+}
+
+// pool builds the exec pool for opts, bridging pool snapshots to the
+// caller's Progress hook with the events counter mixed in.
+func pool(opts Options, events *atomic.Uint64) exec.Pool {
+	p := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	if opts.Progress != nil {
+		hook := opts.Progress
+		p.OnProgress = func(ep exec.Progress) {
+			hook(Progress{Done: ep.Done, Total: ep.Total, Events: events.Load(), Elapsed: ep.Elapsed})
+		}
+	}
+	return p
+}
+
+// reduce folds per-replication metrics into the estimate, strictly in
+// replication order so floating-point accumulation is scheduling-independent.
+func reduce(metrics []model.Metrics, opts Options) Result {
 	var frac, total stats.Accumulator
-	res := Result{PerReplication: make([]model.Metrics, 0, opts.Replications)}
-	for r := 0; r < opts.Replications; r++ {
-		seed := root.Uint64()
-		in, err := model.New(cfg, seed)
-		if err != nil {
-			return Result{}, err
-		}
-		m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
-		if err != nil {
-			return Result{}, err
-		}
+	for _, m := range metrics {
 		frac.Add(m.UsefulWorkFraction)
 		total.Add(m.TotalUsefulWork)
-		res.PerReplication = append(res.PerReplication, m)
 	}
-	res.UsefulWorkFraction = frac.CI(opts.Confidence)
-	res.TotalUsefulWork = total.CI(opts.Confidence)
-	return res, nil
+	return Result{
+		UsefulWorkFraction: frac.CI(opts.Confidence),
+		TotalUsefulWork:    total.CI(opts.Confidence),
+		PerReplication:     metrics,
+	}
 }

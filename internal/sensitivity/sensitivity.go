@@ -7,10 +7,12 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/exec"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -98,30 +100,41 @@ func Analyze(cfg cluster.Config, params []Parameter, factor float64, opts runner
 	if len(params) == 0 {
 		params = AllParameters()
 	}
+	// The base estimate can use the full worker budget (it runs alone);
+	// the per-parameter comparisons then fan out one job per parameter.
 	base, err := runner.Estimate(cfg, opts)
 	if err != nil {
 		return Analysis{}, err
 	}
 	out := Analysis{BaseFraction: base.UsefulWorkFraction}
-	for _, p := range params {
-		perturbed, err := apply(cfg, p, factor)
-		if err != nil {
-			return Analysis{}, err
-		}
-		if err := perturbed.Validate(); err != nil {
-			return Analysis{}, fmt.Errorf("sensitivity: %s×%v: %w", p, factor, err)
-		}
-		comp, err := runner.Compare(cfg, perturbed, opts)
-		if err != nil {
-			return Analysis{}, err
-		}
-		eff := Effect{Parameter: p, Factor: factor, FractionDiff: comp.FractionDiff}
-		if f := base.UsefulWorkFraction.Mean; f > 0 {
-			relF := comp.FractionDiff.Mean / f
-			relP := factor - 1
-			eff.Elasticity = relF / relP
-		}
-		out.Effects = append(out.Effects, eff)
+	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	out.Effects, err = exec.Map(context.Background(), pool, len(params),
+		func(_ context.Context, i int) (Effect, error) {
+			p := params[i]
+			perturbed, err := apply(cfg, p, factor)
+			if err != nil {
+				return Effect{}, err
+			}
+			if err := perturbed.Validate(); err != nil {
+				return Effect{}, fmt.Errorf("sensitivity: %s×%v: %w", p, factor, err)
+			}
+			o := opts
+			o.Workers = 1 // the parameter fan-out is already parallel
+			o.Progress = nil
+			comp, err := runner.Compare(cfg, perturbed, o)
+			if err != nil {
+				return Effect{}, err
+			}
+			eff := Effect{Parameter: p, Factor: factor, FractionDiff: comp.FractionDiff}
+			if f := base.UsefulWorkFraction.Mean; f > 0 {
+				relF := comp.FractionDiff.Mean / f
+				relP := factor - 1
+				eff.Elasticity = relF / relP
+			}
+			return eff, nil
+		})
+	if err != nil {
+		return Analysis{}, err
 	}
 	sort.Slice(out.Effects, func(i, j int) bool {
 		return abs(out.Effects[i].Elasticity) > abs(out.Effects[j].Elasticity)

@@ -78,9 +78,17 @@ func BlueGeneLConfig() Config { return cluster.BlueGeneL() }
 func ASCIQConfig() Config { return cluster.ASCIQ() }
 
 // Options controls the steady-state estimation: replication count, the
-// discarded transient (the paper uses 1000 h), the measurement window and
-// the confidence level (default 95%). The zero value picks the defaults.
+// discarded transient (the paper uses 1000 h), the measurement window, the
+// confidence level (default 95%), and the execution engine's worker count
+// (Workers; 0 or 1 = sequential, n > 1 = that many workers, negative = one
+// per CPU — results are bit-identical for every value). The zero value
+// picks the defaults.
 type Options = runner.Options
+
+// Progress is a snapshot of an in-flight estimation, delivered to
+// Options.Progress after every replication state change: replications
+// done/total, cumulative simulation events fired, and wall time.
+type Progress = runner.Progress
 
 // Result aggregates the replications of one simulated configuration, with
 // Student-t confidence intervals on the paper's two metrics.
