@@ -12,7 +12,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 # Data-race tier: vet plus the full suite under the race detector. The
@@ -22,8 +22,11 @@ race:
 	$(GO) test -race ./...
 
 # One benchmark per paper figure plus ablations and micro-benchmarks.
+# The scheduler benchmarks (BenchmarkSettle, BenchmarkTrajectory) compare
+# the incremental dependency-index path against the full-scan fallback.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/san ./internal/model
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

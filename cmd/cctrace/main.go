@@ -36,6 +36,7 @@ func run(args []string, stdout *os.File) error {
 		only      = fs.String("only", "", "comma-separated activity names to keep (default: all)")
 		marking   = fs.Bool("marking", false, "include the non-empty marking in each event")
 		summary   = fs.Bool("summary", false, "print per-activity counts instead of events")
+		fullscan  = fs.Bool("fullscan", false, "use the full-rescan scheduler instead of the incremental one (debugging; traces are bit-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +52,7 @@ func run(args []string, stdout *os.File) error {
 	if err != nil {
 		return err
 	}
+	in.SetFullScan(*fullscan)
 
 	keep := map[string]bool{}
 	for _, name := range strings.Split(*only, ",") {

@@ -77,6 +77,18 @@ func TestTraceFilterAndMarking(t *testing.T) {
 	}
 }
 
+func TestTraceFullScanByteIdentical(t *testing.T) {
+	args := []string{"-horizon", "10", "-procs", "8192", "-seed", "7", "-marking"}
+	incr := runToFile(t, args)
+	full := runToFile(t, append(args, "-fullscan"))
+	if incr != full {
+		t.Fatal("incremental and full-scan traces differ")
+	}
+	if len(incr) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
 func TestTraceSummary(t *testing.T) {
 	out := runToFile(t, []string{"-horizon", "3", "-procs", "8192", "-seed", "5", "-summary"})
 	if !strings.Contains(out, "dump_chkpt") || !strings.Contains(out, "events") {

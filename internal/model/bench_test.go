@@ -1,0 +1,35 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// BenchmarkTrajectory runs one steady-state trajectory of the paper's base
+// model per iteration (short warmup + measurement window) and reports
+// events/sec throughput, incremental vs full-scan scheduling. The ≥1.3×
+// incremental speedup recorded in REPORT.md comes from this benchmark.
+func BenchmarkTrajectory(b *testing.B) {
+	const warmup, measure = 200.0, 1800.0
+	for _, mode := range []struct {
+		name     string
+		fullScan bool
+	}{{"incremental", false}, {"fullscan", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				in, err := New(cluster.Default(), uint64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				in.SetFullScan(mode.fullScan)
+				if _, err := in.RunSteadyState(warmup, measure); err != nil {
+					b.Fatal(err)
+				}
+				events += in.Fired()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -48,7 +48,9 @@ type stateRewards struct {
 	reboot    *san.RateReward
 }
 
-// addStateRewards registers the occupancy rewards on the simulator.
+// addStateRewards registers the occupancy rewards on the simulator. Each
+// reward declares the places its rate function reads so the simulator only
+// re-evaluates it when one of them changes.
 func (in *Instance) addStateRewards() {
 	pl := in.pl
 	ind := func(p *san.Place) func(m *san.Marking) float64 {
@@ -60,17 +62,17 @@ func (in *Instance) addStateRewards() {
 		}
 	}
 	in.states = stateRewards{
-		execution: in.sim.AddRateReward("state_execution", ind(pl.execution)),
-		quiesce:   in.sim.AddRateReward("state_quiesce", ind(pl.quiescing)),
-		dump:      in.sim.AddRateReward("state_dump", ind(pl.checkpointing)),
-		fsWait:    in.sim.AddRateReward("state_fswait", ind(pl.fsWait)),
+		execution: in.sim.AddRateReward("state_execution", ind(pl.execution), pl.execution),
+		quiesce:   in.sim.AddRateReward("state_quiesce", ind(pl.quiescing), pl.quiescing),
+		dump:      in.sim.AddRateReward("state_dump", ind(pl.checkpointing), pl.checkpointing),
+		fsWait:    in.sim.AddRateReward("state_fswait", ind(pl.fsWait), pl.fsWait),
 		recovery: in.sim.AddRateReward("state_recovery", func(m *san.Marking) float64 {
 			if m.Has(pl.recoveryStage1) || m.Has(pl.recoveryStage2) {
 				return 1
 			}
 			return 0
-		}),
-		reboot: in.sim.AddRateReward("state_reboot", ind(pl.rebooting)),
+		}, pl.recoveryStage1, pl.recoveryStage2),
+		reboot: in.sim.AddRateReward("state_reboot", ind(pl.rebooting), pl.rebooting),
 	}
 }
 

@@ -73,7 +73,8 @@ func New(cfg cluster.Config, seed uint64) (*Instance, error) {
 		return nil, err
 	}
 	inst.sim = sim
-	inst.progress = sim.AddRateReward("progress", inst.progressRate)
+	inst.progress = sim.AddRateReward("progress", inst.progressRate,
+		inst.pl.execution, inst.pl.sysUp)
 	inst.addStateRewards()
 	return inst, nil
 }
@@ -125,28 +126,32 @@ func (in *Instance) useful() float64 { return in.progress.Integral() - in.lost }
 // ---- computing & checkpointing module ----
 
 // addComputeAndMaster wires the master and compute_nodes submodels
-// (Figures 2a, 2d) and the coordination submodel (Figure 2e).
+// (Figures 2a, 2d) and the coordination submodel (Figure 2e). Every input
+// gate declares the places its predicate reads so the simulator's
+// place→activity dependency index can reconcile enabling incrementally.
 func (in *Instance) addComputeAndMaster() {
 	pl, cfg := in.pl, in.cfg
 
 	// The checkpoint interval expires and the master starts the protocol
 	// (and its timeout timer, the start_timer gate of Figure 2d).
 	in.mod.AddTimed(san.Activity{
-		Name:    "checkpoint_trigger",
-		Enabled: func(m *san.Marking) bool { return m.Has(pl.masterSleep) && m.Has(pl.sysUp) },
-		Delay:   det(cfg.CheckpointInterval),
-		Fire:    func(m *san.Marking) { m.Move(pl.masterSleep, pl.masterCheckpointing) },
+		Name:  "checkpoint_trigger",
+		Input: san.AllOf(pl.masterSleep, pl.sysUp),
+		Delay: det(cfg.CheckpointInterval),
+		Output: san.Out(func(m *san.Marking) {
+			m.Move(pl.masterSleep, pl.masterCheckpointing)
+		}),
 	})
 
 	// Compute nodes receive the 'quiesce' broadcast after the broadcast
 	// overhead and stop at a consistent state.
 	in.mod.AddTimed(san.Activity{
-		Name: "recv_quiesce",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.masterCheckpointing) && m.Has(pl.execution) && m.Has(pl.sysUp)
-		},
+		Name:  "recv_quiesce",
+		Input: san.AllOf(pl.masterCheckpointing, pl.execution, pl.sysUp),
 		Delay: det(cfg.BroadcastOverhead),
-		Fire:  func(m *san.Marking) { m.Move(pl.execution, pl.quiescing) },
+		Output: san.Out(func(m *san.Marking) {
+			m.Move(pl.execution, pl.quiescing)
+		}),
 	})
 
 	// The master's coordination timer. It is disarmed as soon as the
@@ -154,12 +159,12 @@ func (in *Instance) addComputeAndMaster() {
 	if cfg.Timeout > 0 {
 		in.mod.AddTimed(san.Activity{
 			Name: "master_timer",
-			Enabled: func(m *san.Marking) bool {
+			Input: san.When(func(m *san.Marking) bool {
 				return m.Has(pl.masterCheckpointing) &&
 					!m.Has(pl.checkpointing) && !m.Has(pl.fsWait)
-			},
-			Delay: det(cfg.Timeout),
-			Fire:  func(m *san.Marking) { m.Set(pl.timedOut, 1) },
+			}, pl.masterCheckpointing, pl.checkpointing, pl.fsWait),
+			Delay:  det(cfg.Timeout),
+			Output: san.Out(func(m *san.Marking) { m.Set(pl.timedOut, 1) }),
 		})
 	}
 
@@ -167,25 +172,23 @@ func (in *Instance) addComputeAndMaster() {
 	// only begin once the application is in its compute phase — a node
 	// doing foreground I/O must finish it first (Figure 2c).
 	in.mod.AddTimed(san.Activity{
-		Name: "coord",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.quiescing) && m.Has(pl.appCompute) && m.Has(pl.sysUp)
-		},
+		Name:  "coord",
+		Input: san.AllOf(pl.quiescing, pl.appCompute, pl.sysUp),
 		Delay: func(_ *san.Marking, src rng.Source) float64 { return in.coordDist.Sample(src) },
-		Fire:  func(m *san.Marking) { m.Set(pl.completeCoordination, 1) },
+		Output: san.Out(func(m *san.Marking) {
+			m.Set(pl.completeCoordination, 1)
+		}),
 	})
 
 	// Coordination finished: compute nodes move to checkpoint dumping.
 	in.mod.AddInstant(san.Activity{
 		Name:     "coordinate",
 		Priority: 1,
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.quiescing) && m.Has(pl.completeCoordination)
-		},
-		Fire: func(m *san.Marking) {
+		Input:    san.AllOf(pl.quiescing, pl.completeCoordination),
+		Output: san.Out(func(m *san.Marking) {
 			m.Clear(pl.completeCoordination)
 			m.Move(pl.quiescing, pl.checkpointing)
-		},
+		}),
 	})
 
 	// Timer expired before coordination completed: abort the checkpoint
@@ -194,17 +197,15 @@ func (in *Instance) addComputeAndMaster() {
 	in.mod.AddInstant(san.Activity{
 		Name:     "skip_chkpt",
 		Priority: 2,
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.timedOut) && m.Has(pl.quiescing)
-		},
-		Fire: func(m *san.Marking) {
+		Input:    san.AllOf(pl.timedOut, pl.quiescing),
+		Output: san.Out(func(m *san.Marking) {
 			m.Clear(pl.timedOut)
 			m.Clear(pl.completeCoordination)
 			m.Move(pl.quiescing, pl.execution)
 			m.Move(pl.masterCheckpointing, pl.masterSleep)
 			in.resetApp(m)
 			in.counters.CheckpointAborts++
-		},
+		}),
 	})
 
 	// A stray timeout token with no quiesce in progress is discarded
@@ -212,10 +213,10 @@ func (in *Instance) addComputeAndMaster() {
 	in.mod.AddInstant(san.Activity{
 		Name:     "timeout_clear",
 		Priority: 0,
-		Enabled: func(m *san.Marking) bool {
+		Input: san.When(func(m *san.Marking) bool {
 			return m.Has(pl.timedOut) && !m.Has(pl.quiescing)
-		},
-		Fire: func(m *san.Marking) { m.Clear(pl.timedOut) },
+		}, pl.timedOut, pl.quiescing),
+		Output: san.Out(func(m *san.Marking) { m.Clear(pl.timedOut) }),
 	})
 
 	// Checkpoint dump: every group of compute nodes streams its state to
@@ -223,15 +224,12 @@ func (in *Instance) addComputeAndMaster() {
 	// With the incremental extension, only every k-th dump carries the
 	// full state; the others move IncrementalFraction of it.
 	in.mod.AddTimed(san.Activity{
-		Name: "dump_chkpt",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.checkpointing) && m.Has(pl.ionodeIdle) &&
-				m.Has(pl.ioUp) && m.Has(pl.sysUp)
-		},
+		Name:  "dump_chkpt",
+		Input: san.AllOf(pl.checkpointing, pl.ionodeIdle, pl.ioUp, pl.sysUp),
 		Delay: func(m *san.Marking, _ rng.Source) float64 {
 			return cfg.CheckpointDumpTime() * in.checkpointScale(m)
 		},
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			in.pendingWriteScale = in.checkpointScale(m)
 			in.advanceIncrSeq(m)
 			m.Set(pl.enableChkpt, 1)
@@ -251,7 +249,7 @@ func (in *Instance) addComputeAndMaster() {
 			m.Move(pl.checkpointing, pl.execution)
 			m.Move(pl.masterCheckpointing, pl.masterSleep)
 			in.resetApp(m)
-		},
+		}, pl.incrSeq),
 	})
 
 	if cfg.BlockingCheckpointWrite {
@@ -260,14 +258,14 @@ func (in *Instance) addComputeAndMaster() {
 		// both the write request and the in-progress write.
 		in.mod.AddInstant(san.Activity{
 			Name: "resume_after_fs_write",
-			Enabled: func(m *san.Marking) bool {
+			Input: san.When(func(m *san.Marking) bool {
 				return m.Has(pl.fsWait) && !m.Has(pl.enableChkpt) && !m.Has(pl.writingChkpt)
-			},
-			Fire: func(m *san.Marking) {
+			}, pl.fsWait, pl.enableChkpt, pl.writingChkpt),
+			Output: san.Out(func(m *san.Marking) {
 				m.Move(pl.fsWait, pl.execution)
 				m.Move(pl.masterCheckpointing, pl.masterSleep)
 				in.resetApp(m)
-			},
+			}),
 		})
 	}
 }

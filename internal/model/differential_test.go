@@ -1,0 +1,134 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// traceRecord is one firing as captured for differential comparison. Times
+// are compared with exact float64 equality: the incremental scheduler must
+// be bit-identical to the full scan, not merely statistically equivalent.
+type traceRecord struct {
+	t        float64
+	activity string
+}
+
+// collectTrajectory runs one trajectory of cfg to the horizon with the
+// chosen scheduler and returns the full event trace plus the final metrics.
+func collectTrajectory(t *testing.T, cfg cluster.Config, seed uint64, fullScan bool, horizon float64) ([]traceRecord, Metrics) {
+	t.Helper()
+	in, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetFullScan(fullScan)
+	var events []traceRecord
+	in.SetTrace(func(tm float64, activity string, _ map[string]int) {
+		events = append(events, traceRecord{tm, activity})
+	}, false)
+	mt, err := in.RunSteadyState(horizon/2, horizon/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, mt
+}
+
+// differentialConfigs are the model configurations the incremental
+// scheduler is checked against the full scan on: the paper's base model
+// plus the modes that exercise every structural variant of the net
+// (max-of-n coordination, timeouts with aborts, error propagation).
+func differentialConfigs() map[string]cluster.Config {
+	base := cluster.Default()
+
+	maxOfN := cluster.Default()
+	maxOfN.Coordination = cluster.CoordMaxOfN
+
+	timeout := cluster.Default()
+	timeout.Coordination = cluster.CoordMaxOfN
+	timeout.Timeout = cluster.Seconds(25) // tight: forces skip_chkpt aborts
+
+	errProp := cluster.Default()
+	errProp.ProbCorrelated = 0.3
+	errProp.CorrelatedFactor = 400
+
+	return map[string]cluster.Config{
+		"base":              base,
+		"max-of-n":          maxOfN,
+		"timeout":           timeout,
+		"error-propagation": errProp,
+	}
+}
+
+// TestIncrementalMatchesFullScan is the model-level differential test: for
+// every covered configuration and seed, the incremental dependency-index
+// scheduler and the conservative full-rescan scheduler must produce
+// bit-identical event traces and identical reward totals.
+func TestIncrementalMatchesFullScan(t *testing.T) {
+	const horizon = 4000.0
+	for name, cfg := range differentialConfigs() {
+		for _, seed := range []uint64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				incr, incrMt := collectTrajectory(t, cfg, seed, false, horizon)
+				full, fullMt := collectTrajectory(t, cfg, seed, true, horizon)
+				if len(incr) == 0 {
+					t.Fatal("empty trace")
+				}
+				if len(incr) != len(full) {
+					t.Fatalf("event counts differ: incremental %d, full scan %d", len(incr), len(full))
+				}
+				for i := range incr {
+					if incr[i] != full[i] {
+						t.Fatalf("event %d differs: incremental %+v, full scan %+v", i, incr[i], full[i])
+					}
+				}
+				if incrMt.UsefulWorkFraction != fullMt.UsefulWorkFraction {
+					t.Fatalf("useful-work fraction differs: %v vs %v",
+						incrMt.UsefulWorkFraction, fullMt.UsefulWorkFraction)
+				}
+				if incrMt.Breakdown != fullMt.Breakdown {
+					t.Fatalf("breakdown differs: %+v vs %+v", incrMt.Breakdown, fullMt.Breakdown)
+				}
+				if incrMt.Counters != fullMt.Counters {
+					t.Fatalf("counters differ: %+v vs %+v", incrMt.Counters, fullMt.Counters)
+				}
+				if incrMt.MeanLostWorkPerFailure != fullMt.MeanLostWorkPerFailure ||
+					incrMt.MaxLostWork != fullMt.MaxLostWork {
+					t.Fatalf("loss statistics differ: (%v, %v) vs (%v, %v)",
+						incrMt.MeanLostWorkPerFailure, incrMt.MaxLostWork,
+						fullMt.MeanLostWorkPerFailure, fullMt.MaxLostWork)
+				}
+			})
+		}
+	}
+}
+
+// TestTimeoutConfigAborts guards the timeout differential config against
+// becoming vacuous: it must actually exercise the skip_chkpt abort path.
+func TestTimeoutConfigAborts(t *testing.T) {
+	cfg := differentialConfigs()["timeout"]
+	in, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Advance(2000)
+	if in.Counters().CheckpointAborts == 0 {
+		t.Fatal("timeout config produced no checkpoint aborts; differential coverage lost")
+	}
+}
+
+// TestErrorPropagationConfigOpensWindows guards the error-propagation
+// differential config the same way: correlated windows (and hence the
+// reactivation machinery) must actually trigger.
+func TestErrorPropagationConfigOpensWindows(t *testing.T) {
+	cfg := differentialConfigs()["error-propagation"]
+	in, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Advance(4000)
+	if in.Counters().CorrWindows == 0 {
+		t.Fatal("error-propagation config opened no correlated windows; differential coverage lost")
+	}
+}

@@ -18,29 +18,27 @@ func (in *Instance) addAppWorkload() {
 		return
 	}
 	in.mod.AddTimed(san.Activity{
-		Name: "app_compute_end",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.appCompute) && m.Has(pl.execution) && m.Has(pl.sysUp)
-		},
+		Name:  "app_compute_end",
+		Input: san.AllOf(pl.appCompute, pl.execution, pl.sysUp),
 		Delay: det(cfg.AppComputeTime()),
-		Fire:  func(m *san.Marking) { m.Move(pl.appCompute, pl.appIO) },
+		Output: san.Out(func(m *san.Marking) {
+			m.Move(pl.appCompute, pl.appIO)
+		}),
 	})
 	// Foreground I/O is non-preemptive: once started it runs to
 	// completion even while the nodes are quiescing for a checkpoint
 	// (Section 3.3), so the enabling condition deliberately does not
 	// require the execution state.
 	in.mod.AddTimed(san.Activity{
-		Name: "app_io_end",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.appIO) && m.Has(pl.sysUp)
-		},
+		Name:  "app_io_end",
+		Input: san.AllOf(pl.appIO, pl.sysUp),
 		Delay: det(cfg.AppIOForegroundTime()),
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			m.Move(pl.appIO, pl.appCompute)
 			// The transferred data now sits in the I/O nodes'
 			// buffers awaiting the background file-system write.
 			m.Add(pl.appDataPending, 1)
-		},
+		}),
 	})
 }
 
@@ -53,48 +51,42 @@ func (in *Instance) addIONodes() {
 	in.mod.AddInstant(san.Activity{
 		Name:     "start_write_chkpt",
 		Priority: 1,
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.ionodeIdle) && m.Has(pl.enableChkpt) && m.Has(pl.ioUp)
-		},
-		Fire: func(m *san.Marking) {
+		Input:    san.AllOf(pl.ionodeIdle, pl.enableChkpt, pl.ioUp),
+		Output: san.Out(func(m *san.Marking) {
 			m.Clear(pl.enableChkpt)
 			m.Move(pl.ionodeIdle, pl.writingChkpt)
-		},
+		}),
 	})
 	in.mod.AddTimed(san.Activity{
-		Name: "write_chkpt",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.writingChkpt) && m.Has(pl.ioUp)
-		},
+		Name:  "write_chkpt",
+		Input: san.AllOf(pl.writingChkpt, pl.ioUp),
 		Delay: func(*san.Marking, rng.Source) float64 {
 			return cfg.CheckpointFSWriteTime() * in.pendingWriteScale
 		},
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			m.Move(pl.writingChkpt, pl.ionodeIdle)
 			// The durable checkpoint catches up with the buffer.
 			in.capD = in.capB
 			in.counters.CheckpointsWritten++
-		},
+		}),
 	})
 
 	in.mod.AddInstant(san.Activity{
 		Name:     "start_write_appdata",
 		Priority: 0,
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.ionodeIdle) && m.Has(pl.appDataPending) && m.Has(pl.ioUp)
-		},
-		Fire: func(m *san.Marking) {
+		Input:    san.AllOf(pl.ionodeIdle, pl.appDataPending, pl.ioUp),
+		Output: san.Out(func(m *san.Marking) {
 			m.Add(pl.appDataPending, -1)
 			m.Move(pl.ionodeIdle, pl.writingAppData)
-		},
+		}),
 	})
 	in.mod.AddTimed(san.Activity{
-		Name: "write_appdata",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.writingAppData) && m.Has(pl.ioUp)
-		},
+		Name:  "write_appdata",
+		Input: san.AllOf(pl.writingAppData, pl.ioUp),
 		Delay: det(cfg.AppIOBackgroundWriteTime()),
-		Fire:  func(m *san.Marking) { m.Move(pl.writingAppData, pl.ionodeIdle) },
+		Output: san.Out(func(m *san.Marking) {
+			m.Move(pl.writingAppData, pl.ionodeIdle)
+		}),
 	})
 }
 
@@ -111,36 +103,35 @@ func (in *Instance) addFailureAndRecovery() {
 	// is up — executing, quiescing or checkpoint dumping (Section 3.4).
 	// The rate is multiplied by r inside a correlated-failure window;
 	// ReactivateOn makes the exponential resample when the window opens
-	// or closes (sound by memorylessness).
+	// or closes (sound by memorylessness). The output gate reads the
+	// buffer/window places through computeFailure's branching.
 	in.mod.AddTimed(san.Activity{
-		Name:    "comp_failure",
-		Enabled: func(m *san.Marking) bool { return m.Has(pl.sysUp) },
+		Name:  "comp_failure",
+		Input: san.AllOf(pl.sysUp),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
 			return rng.Exponential{MeanValue: 1 / (computeRate * in.corrMult(m))}.Sample(src)
 		},
 		ReactivateOn: []*san.Place{pl.corrWindow},
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			in.counters.ComputeFailures++
 			in.computeFailure(m)
-		},
+		}, pl.chkptBuffered, pl.corrWindow),
 	})
 
 	// Recovery stage 1: the I/O nodes read the last durable checkpoint
 	// from the file system into their buffers. Skipped entirely (the
 	// place never gets a token) when the checkpoint is still buffered.
 	in.mod.AddTimed(san.Activity{
-		Name: "recover_stage1",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.recoveryStage1) && m.Has(pl.ioUp)
-		},
+		Name:  "recover_stage1",
+		Input: san.AllOf(pl.recoveryStage1, pl.ioUp),
 		Delay: det(cfg.CheckpointFSReadTime()),
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			m.Move(pl.recoveryStage1, pl.recoveryStage2)
 			// The checkpoint is buffered again; the buffer equals
 			// the durable copy so no extra work is secured.
 			m.Set(pl.chkptBuffered, 1)
 			in.capB = in.capD
-		},
+		}),
 	})
 
 	// Recovery stage 2: compute nodes read the checkpoint from the I/O
@@ -149,10 +140,8 @@ func (in *Instance) addFailureAndRecovery() {
 	// permanent failure the extension adds the deterministic spare-node
 	// reconfiguration time (§3.4 / footnote 2 of the paper).
 	in.mod.AddTimed(san.Activity{
-		Name: "recover_stage2",
-		Enabled: func(m *san.Marking) bool {
-			return m.Has(pl.recoveryStage2) && m.Has(pl.ioUp)
-		},
+		Name:  "recover_stage2",
+		Input: san.AllOf(pl.recoveryStage2, pl.ioUp),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
 			d := rng.Exponential{MeanValue: cfg.MTTR}.Sample(src)
 			if m.Has(pl.reconfigNeeded) {
@@ -160,7 +149,7 @@ func (in *Instance) addFailureAndRecovery() {
 			}
 			return d
 		},
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			m.Clear(pl.recoveryStage2)
 			m.Clear(pl.recoveryFailures)
 			m.Clear(pl.reconfigNeeded)
@@ -170,7 +159,7 @@ func (in *Instance) addFailureAndRecovery() {
 			// A successful recovery wipes latent errors: the system
 			// exits the correlated-failure window (Section 4).
 			m.Clear(pl.corrWindow)
-		},
+		}),
 	})
 
 	// Failures during recovery (the paper's key departure from classic
@@ -179,14 +168,14 @@ func (in *Instance) addFailureAndRecovery() {
 	// whole system reboots ("severe failures", Figure 1).
 	in.mod.AddTimed(san.Activity{
 		Name: "recovery_failure",
-		Enabled: func(m *san.Marking) bool {
+		Input: san.When(func(m *san.Marking) bool {
 			return (m.Has(pl.recoveryStage1) || m.Has(pl.recoveryStage2)) && !m.Has(pl.rebooting)
-		},
+		}, pl.recoveryStage1, pl.recoveryStage2, pl.rebooting),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
 			return rng.Exponential{MeanValue: 1 / (computeRate * in.corrMult(m))}.Sample(src)
 		},
 		ReactivateOn: []*san.Place{pl.corrWindow},
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			in.counters.RecoveryFailures++
 			in.maybeOpenCorrWindow(m)
 			m.Add(pl.recoveryFailures, 1)
@@ -198,7 +187,7 @@ func (in *Instance) addFailureAndRecovery() {
 			m.Clear(pl.recoveryStage1)
 			m.Clear(pl.recoveryStage2)
 			m.Set(in.recoveryEntryStage(m), 1)
-		},
+		}, pl.recoveryFailures, pl.chkptBuffered, pl.corrWindow),
 	})
 
 	// I/O-subsystem failure (Section 3.4): restarts all I/O nodes; the
@@ -206,31 +195,33 @@ func (in *Instance) addFailureAndRecovery() {
 	// NoIOFailures ablation removes the process entirely.
 	if !cfg.NoIOFailures {
 		in.mod.AddTimed(san.Activity{
-			Name:    "io_failure",
-			Enabled: func(m *san.Marking) bool { return m.Has(pl.ioUp) },
+			Name:  "io_failure",
+			Input: san.AllOf(pl.ioUp),
 			Delay: func(m *san.Marking, src rng.Source) float64 {
 				return rng.Exponential{MeanValue: 1 / (ioRate * in.corrMult(m))}.Sample(src)
 			},
 			ReactivateOn: []*san.Place{pl.corrWindow},
-			Fire: func(m *san.Marking) {
+			Output: san.Out(func(m *san.Marking) {
 				in.counters.IOFailures++
 				in.ioFailure(m)
-			},
+			}, pl.writingAppData, pl.appDataPending, pl.sysUp,
+				pl.recoveryStage1, pl.recoveryStage2, pl.recoveryFailures,
+				pl.chkptBuffered, pl.corrWindow),
 		})
 	}
 
 	// I/O restart: "When an I/O node fails, all the I/O nodes need to be
 	// restarted" (Section 3.4); Table 3 gives a 1-minute MTTR.
 	in.mod.AddTimed(san.Activity{
-		Name:    "io_restart",
-		Enabled: func(m *san.Marking) bool { return m.Has(pl.ioRestarting) },
+		Name:  "io_restart",
+		Input: san.AllOf(pl.ioRestarting),
 		Delay: func(_ *san.Marking, src rng.Source) float64 {
 			return rng.Exponential{MeanValue: cfg.MTTRIONodes}.Sample(src)
 		},
-		Fire: func(m *san.Marking) {
+		Output: san.Out(func(m *san.Marking) {
 			m.Move(pl.ioRestarting, pl.ionodeIdle)
 			m.Set(pl.ioUp, 1)
-		},
+		}),
 	})
 
 	// System reboot (system_reboot submodel): after it completes the I/O
@@ -238,15 +229,15 @@ func (in *Instance) addFailureAndRecovery() {
 	// last durable checkpoint and recover (Figure 1's "reboot completes"
 	// arrows into io_nodes and comp_node_failure).
 	in.mod.AddTimed(san.Activity{
-		Name:    "reboot",
-		Enabled: func(m *san.Marking) bool { return m.Has(pl.rebooting) },
-		Delay:   det(cfg.RebootTime),
-		Fire: func(m *san.Marking) {
+		Name:  "reboot",
+		Input: san.AllOf(pl.rebooting),
+		Delay: det(cfg.RebootTime),
+		Output: san.Out(func(m *san.Marking) {
 			m.Clear(pl.rebooting)
 			m.Set(pl.ioUp, 1)
 			m.Set(pl.ionodeIdle, 1)
 			m.Set(pl.recoveryStage1, 1) // buffer was lost; durable read required
-		},
+		}),
 	})
 }
 
@@ -401,10 +392,10 @@ func (in *Instance) addCorrelated() {
 	}
 	in.mod.AddTimed(san.Activity{
 		Name:         "corr_window_end",
-		Enabled:      func(m *san.Marking) bool { return m.Has(pl.corrWindow) },
+		Input:        san.AllOf(pl.corrWindow),
 		Delay:        det(cfg.CorrelatedWindow),
 		ReactivateOn: []*san.Place{pl.corrWindow},
-		Fire:         func(m *san.Marking) { m.Clear(pl.corrWindow) },
+		Output:       san.Out(func(m *san.Marking) { m.Clear(pl.corrWindow) }),
 	})
 }
 

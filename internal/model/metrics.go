@@ -85,6 +85,12 @@ func (in *Instance) RunSteadyState(warmup, measure float64) (Metrics, error) {
 // inspect intermediate state).
 func (in *Instance) Advance(to float64) { in.sim.RunUntil(to) }
 
+// SetFullScan switches the underlying simulator between the incremental
+// dependency-index scheduler (default) and the conservative full-rescan
+// path. The two are bit-identical by construction; the full-scan mode
+// exists for differential testing and debugging.
+func (in *Instance) SetFullScan(on bool) { in.sim.FullScan = on }
+
 // Useful returns the net useful work accrued since time zero.
 func (in *Instance) Useful() float64 { return in.useful() }
 

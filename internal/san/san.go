@@ -5,6 +5,15 @@
 // (output gates), marking-dependent delay distributions with reactivation,
 // and rate/impulse reward variables evaluated over the marking process.
 //
+// Gates are declarative: an input or output gate names the places its
+// closure reads. Validate uses the declarations to build a place→activity
+// dependency index, which lets the executor in simulator.go reconcile
+// enabling incrementally — after a firing only the activities (and rate
+// rewards) whose declared read places actually changed are re-evaluated,
+// instead of rescanning the whole net. Gates with an empty read-set are
+// treated conservatively as "reads everything" and rescanned after every
+// firing, so undeclared nets remain correct, just slower.
+//
 // The executor in simulator.go turns a Model into a discrete-event
 // simulation on top of internal/des.
 package san
@@ -36,50 +45,6 @@ const (
 	Instantaneous
 )
 
-// Marking is the read/write view of the net's state passed to predicates
-// and effects.
-type Marking struct {
-	tokens  []int
-	changed map[int]bool
-	model   *Model
-}
-
-// Get returns the number of tokens in p.
-func (m *Marking) Get(p *Place) int { return m.tokens[p.index] }
-
-// Has reports whether p holds at least one token.
-func (m *Marking) Has(p *Place) bool { return m.tokens[p.index] > 0 }
-
-// Set assigns the token count of p. Negative counts panic: they always
-// indicate a broken gate function.
-func (m *Marking) Set(p *Place, n int) {
-	if n < 0 {
-		panic(fmt.Sprintf("san: place %q set to negative count %d", p.Name, n))
-	}
-	if m.tokens[p.index] != n {
-		m.tokens[p.index] = n
-		if m.changed != nil {
-			m.changed[p.index] = true
-		}
-	}
-}
-
-// Add adds delta tokens to p (delta may be negative).
-func (m *Marking) Add(p *Place, delta int) { m.Set(p, m.Get(p)+delta) }
-
-// Move transfers one token from src to dst; it panics when src is empty,
-// because moving a non-existent token is a structural modeling error.
-func (m *Marking) Move(src, dst *Place) {
-	if m.Get(src) < 1 {
-		panic(fmt.Sprintf("san: move from empty place %q", src.Name))
-	}
-	m.Add(src, -1)
-	m.Add(dst, 1)
-}
-
-// Clear removes all tokens from p.
-func (m *Marking) Clear(p *Place) { m.Set(p, 0) }
-
 // Predicate is an input-gate enabling condition over the marking.
 type Predicate func(m *Marking) bool
 
@@ -91,26 +56,80 @@ type Effect func(m *Marking)
 // reactivation.
 type DelayFunc func(m *Marking, src rng.Source) float64
 
+// InputGate is a declarative enabling condition: the predicate plus the
+// places it reads. The read-set must cover every place whose token count
+// can change the predicate's value; the simulator relies on it to decide
+// which activities need re-evaluation after a firing. A nil/empty Reads
+// means "undeclared": the activity is conservatively re-evaluated after
+// every firing that changed any place.
+type InputGate struct {
+	Reads []*Place
+	Cond  Predicate
+}
+
+// OutputGate is a declarative firing function: the effect plus the places
+// it reads to decide what to write (e.g. a branch on a counter place).
+// Writes need no declaration — the marking records them dynamically. The
+// read-set is validated for membership and exposed for introspection and
+// tooling; it does not influence scheduling, because effects always run
+// against the current marking.
+type OutputGate struct {
+	Reads []*Place
+	Apply Effect
+}
+
+// When builds an input gate from a predicate and the places it reads.
+func When(cond Predicate, reads ...*Place) InputGate {
+	return InputGate{Reads: reads, Cond: cond}
+}
+
+// AllOf builds the most common input gate declaratively: enabled exactly
+// when every listed place holds at least one token. The read-set is the
+// listed places themselves.
+func AllOf(places ...*Place) InputGate {
+	ps := append([]*Place(nil), places...)
+	return InputGate{Reads: ps, Cond: func(m *Marking) bool {
+		for _, p := range ps {
+			if !m.Has(p) {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// Out builds an output gate from an effect and the places it reads.
+func Out(apply Effect, reads ...*Place) OutputGate {
+	return OutputGate{Reads: reads, Apply: apply}
+}
+
 // Activity is a SAN activity. Use Model.AddTimed / Model.AddInstant to
 // create activities; the zero value is not valid.
 type Activity struct {
-	Name    string
-	Kind    Kind
-	Enabled Predicate
-	Delay   DelayFunc // nil for instantaneous activities
-	Fire    Effect
+	Name  string
+	Kind  Kind
+	Input InputGate
+	Delay DelayFunc // nil for instantaneous activities
+	Output OutputGate
 	// ReactivateOn lists places whose token-count changes force the
 	// activity to resample its delay while it remains enabled. This is
 	// how marking-dependent failure rates (correlated-failure windows)
 	// are modeled; resampling an exponential is statistically sound by
-	// memorylessness.
+	// memorylessness. Only timed activities may reactivate — an
+	// instantaneous activity never holds a sampled delay to resample.
 	ReactivateOn []*Place
 	// Priority orders simultaneous instantaneous firings (higher first).
 	Priority int
 
 	index      int
-	reactivate map[int]bool
+	reactivate []int32 // deduped ReactivateOn place indices, built by Validate
 }
+
+// Enabled evaluates the input gate's condition.
+func (a *Activity) Enabled(m *Marking) bool { return a.Input.Cond(m) }
+
+// Fire applies the output gate's effect.
+func (a *Activity) Fire(m *Marking) { a.Output.Apply(m) }
 
 // Model is an immutable (after Validate) SAN structure: places plus
 // activities. Build one with NewModel, then hand it to NewSimulator.
@@ -119,6 +138,21 @@ type Model struct {
 	places     []*Place
 	activities []*Activity
 	byName     map[string]*Place
+	deps       *depIndex // place→activity dependency index, built by Validate
+}
+
+// depIndex is the place→activity dependency index: for every place, which
+// activities' enabling (and which rewards' rates, tracked separately by the
+// simulator) can change when its token count changes. Built by Validate
+// from the declared gate read-sets.
+type depIndex struct {
+	enableTimed [][]int32 // place index → timed activities whose input gate reads it
+	enableInst  [][]int32 // place index → instantaneous activities whose input gate reads it
+	react       [][]int32 // place index → activities that reactivate on it
+	scanTimed   []int32   // timed activities with undeclared input read-sets
+	scanInst    []int32   // instantaneous activities with undeclared input read-sets
+	timed       []int32   // all timed activities, creation order
+	instants    []int32   // all instantaneous activities, creation order
 }
 
 // NewModel returns an empty model.
@@ -159,6 +193,35 @@ func (mod *Model) Activities() []*Activity {
 	return out
 }
 
+// DependentsOf returns the activities whose declared input read-sets
+// include p, in creation order — the activities whose enabling can change
+// when p's token count does (undeclared activities excluded; see
+// UndeclaredInputs). For structural tests and tooling.
+func (mod *Model) DependentsOf(p *Place) []*Activity {
+	var out []*Activity
+	for _, a := range mod.activities {
+		for _, r := range a.Input.Reads {
+			if r == p {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// UndeclaredInputs returns the activities with no declared input read-set,
+// which the simulator conservatively re-evaluates after every firing.
+func (mod *Model) UndeclaredInputs() []*Activity {
+	var out []*Activity
+	for _, a := range mod.activities {
+		if len(a.Input.Reads) == 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // AddTimed registers a timed activity.
 func (mod *Model) AddTimed(a Activity) *Activity {
 	a.Kind = Timed
@@ -175,40 +238,93 @@ func (mod *Model) AddInstant(a Activity) *Activity {
 func (mod *Model) add(a Activity) *Activity {
 	act := a
 	act.index = len(mod.activities)
-	act.reactivate = make(map[int]bool, len(a.ReactivateOn))
-	for _, p := range a.ReactivateOn {
-		act.reactivate[p.index] = true
-	}
 	mod.activities = append(mod.activities, &act)
+	mod.deps = nil // structure changed; Validate must rebuild the index
 	return &act
 }
 
-// Validate checks structural well-formedness: every activity has a name,
-// an enabling predicate, a firing effect, and (if timed) a delay function,
-// and all reactivation places belong to this model.
+// owns reports whether p belongs to this model.
+func (mod *Model) owns(p *Place) bool {
+	return p != nil && p.index < len(mod.places) && mod.places[p.index] == p
+}
+
+// Validate checks structural well-formedness — every activity has a name,
+// an enabling predicate, a firing effect, and (if timed) a delay function;
+// gate read-sets and reactivation places belong to this model; only timed
+// activities reactivate — and builds the place→activity dependency index
+// used by the incremental scheduler. Duplicate ReactivateOn entries are
+// deduped. Validate is idempotent; NewSimulator calls it.
 func (mod *Model) Validate() error {
 	seen := make(map[string]bool, len(mod.activities))
+	deps := &depIndex{
+		enableTimed: make([][]int32, len(mod.places)),
+		enableInst:  make([][]int32, len(mod.places)),
+		react:       make([][]int32, len(mod.places)),
+	}
 	for _, a := range mod.activities {
 		switch {
 		case a.Name == "":
 			return fmt.Errorf("model %s: unnamed activity", mod.Name)
 		case seen[a.Name]:
 			return fmt.Errorf("model %s: duplicate activity %q", mod.Name, a.Name)
-		case a.Enabled == nil:
+		case a.Input.Cond == nil:
 			return fmt.Errorf("model %s: activity %q has no enabling predicate", mod.Name, a.Name)
-		case a.Fire == nil:
+		case a.Output.Apply == nil:
 			return fmt.Errorf("model %s: activity %q has no firing effect", mod.Name, a.Name)
 		case a.Kind == Timed && a.Delay == nil:
 			return fmt.Errorf("model %s: timed activity %q has no delay", mod.Name, a.Name)
 		case a.Kind != Timed && a.Kind != Instantaneous:
 			return fmt.Errorf("model %s: activity %q has invalid kind %d", mod.Name, a.Name, a.Kind)
+		case a.Kind == Instantaneous && len(a.ReactivateOn) > 0:
+			return fmt.Errorf("model %s: instantaneous activity %q has ReactivateOn (no sampled delay to resample)", mod.Name, a.Name)
 		}
 		seen[a.Name] = true
+		ai := int32(a.index)
+		for _, p := range a.Input.Reads {
+			if !mod.owns(p) {
+				return fmt.Errorf("model %s: activity %q input gate reads foreign place %q", mod.Name, a.Name, p.Name)
+			}
+			if a.Kind == Timed {
+				deps.enableTimed[p.index] = append(deps.enableTimed[p.index], ai)
+			} else {
+				deps.enableInst[p.index] = append(deps.enableInst[p.index], ai)
+			}
+		}
+		for _, p := range a.Output.Reads {
+			if !mod.owns(p) {
+				return fmt.Errorf("model %s: activity %q output gate reads foreign place %q", mod.Name, a.Name, p.Name)
+			}
+		}
+		a.reactivate = a.reactivate[:0]
 		for _, p := range a.ReactivateOn {
-			if p.index >= len(mod.places) || mod.places[p.index] != p {
+			if !mod.owns(p) {
 				return fmt.Errorf("model %s: activity %q reactivates on foreign place %q", mod.Name, a.Name, p.Name)
+			}
+			dup := false
+			for _, idx := range a.reactivate {
+				if idx == int32(p.index) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			a.reactivate = append(a.reactivate, int32(p.index))
+			deps.react[p.index] = append(deps.react[p.index], ai)
+		}
+		if a.Kind == Timed {
+			deps.timed = append(deps.timed, ai)
+			if len(a.Input.Reads) == 0 {
+				deps.scanTimed = append(deps.scanTimed, ai)
+			}
+		} else {
+			deps.instants = append(deps.instants, ai)
+			if len(a.Input.Reads) == 0 {
+				deps.scanInst = append(deps.scanInst, ai)
 			}
 		}
 	}
+	mod.deps = deps
 	return nil
 }

@@ -53,30 +53,51 @@ func TestValidateCatchesBrokenActivities(t *testing.T) {
 		want  string
 	}{
 		{"unnamed", func(m *Model, p *Place) {
-			m.AddTimed(Activity{Enabled: func(*Marking) bool { return true }, Fire: func(*Marking) {}, Delay: fixed(1)})
+			m.AddTimed(Activity{Input: AllOf(p), Output: Out(func(*Marking) {}), Delay: fixed(1)})
 		}, "unnamed"},
 		{"no predicate", func(m *Model, p *Place) {
-			m.AddTimed(Activity{Name: "x", Fire: func(*Marking) {}, Delay: fixed(1)})
+			m.AddTimed(Activity{Name: "x", Output: Out(func(*Marking) {}), Delay: fixed(1)})
 		}, "enabling predicate"},
 		{"no effect", func(m *Model, p *Place) {
-			m.AddTimed(Activity{Name: "x", Enabled: func(*Marking) bool { return true }, Delay: fixed(1)})
+			m.AddTimed(Activity{Name: "x", Input: AllOf(p), Delay: fixed(1)})
 		}, "firing effect"},
 		{"no delay", func(m *Model, p *Place) {
-			m.AddTimed(Activity{Name: "x", Enabled: func(*Marking) bool { return true }, Fire: func(*Marking) {}})
+			m.AddTimed(Activity{Name: "x", Input: AllOf(p), Output: Out(func(*Marking) {})})
 		}, "no delay"},
 		{"duplicate", func(m *Model, p *Place) {
-			a := Activity{Name: "x", Enabled: func(*Marking) bool { return true }, Fire: func(*Marking) {}, Delay: fixed(1)}
+			a := Activity{Name: "x", Input: AllOf(p), Output: Out(func(*Marking) {}), Delay: fixed(1)}
 			m.AddTimed(a)
 			m.AddTimed(a)
 		}, "duplicate"},
 		{"foreign reactivation", func(m *Model, p *Place) {
 			other := NewModel("other").Place("foreign", 0)
 			m.AddTimed(Activity{
-				Name: "x", Enabled: func(*Marking) bool { return true },
-				Fire: func(*Marking) {}, Delay: fixed(1),
+				Name: "x", Input: AllOf(p),
+				Output: Out(func(*Marking) {}), Delay: fixed(1),
 				ReactivateOn: []*Place{other},
 			})
 		}, "foreign place"},
+		{"foreign input read", func(m *Model, p *Place) {
+			other := NewModel("other").Place("foreign", 0)
+			m.AddTimed(Activity{
+				Name: "x", Input: When(func(*Marking) bool { return true }, other),
+				Output: Out(func(*Marking) {}), Delay: fixed(1),
+			})
+		}, "foreign place"},
+		{"foreign output read", func(m *Model, p *Place) {
+			other := NewModel("other").Place("foreign", 0)
+			m.AddTimed(Activity{
+				Name: "x", Input: AllOf(p),
+				Output: Out(func(*Marking) {}, other), Delay: fixed(1),
+			})
+		}, "foreign place"},
+		{"instantaneous reactivation", func(m *Model, p *Place) {
+			m.AddInstant(Activity{
+				Name: "x", Input: AllOf(p),
+				Output:       Out(func(*Marking) {}),
+				ReactivateOn: []*Place{p},
+			})
+		}, "ReactivateOn"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -91,26 +112,85 @@ func TestValidateCatchesBrokenActivities(t *testing.T) {
 	}
 }
 
+// TestValidateDedupesReactivateOn: a place listed twice in ReactivateOn is
+// indexed once (the duplicate is harmless, so it is deduped, not rejected).
+func TestValidateDedupesReactivateOn(t *testing.T) {
+	m := NewModel("dedupe")
+	p := m.Place("p", 1)
+	mode := m.Place("mode", 0)
+	a := m.AddTimed(Activity{
+		Name: "x", Input: AllOf(p),
+		Output:       Out(func(*Marking) {}),
+		Delay:        fixed(1),
+		ReactivateOn: []*Place{mode, mode, mode},
+	})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.reactivate) != 1 || a.reactivate[0] != int32(mode.index) {
+		t.Fatalf("reactivate = %v, want single entry for %q", a.reactivate, mode.Name)
+	}
+	// Validate is idempotent: a second pass must not re-duplicate.
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.reactivate) != 1 {
+		t.Fatalf("second Validate changed reactivate: %v", a.reactivate)
+	}
+}
+
+// TestDependencyIndex checks the declarative read-sets feed the
+// place→activity introspection helpers.
+func TestDependencyIndex(t *testing.T) {
+	m := NewModel("deps")
+	a := m.Place("a", 1)
+	b := m.Place("b", 0)
+	ab := m.AddTimed(Activity{
+		Name: "ab", Input: AllOf(a),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Move(a, b) }),
+	})
+	opaque := m.AddTimed(Activity{
+		Name:  "opaque",
+		Input: When(func(mk *Marking) bool { return mk.Has(b) }), // no declared reads
+		Delay: fixed(2),
+		Output: Out(func(mk *Marking) { mk.Move(b, a) }),
+	})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if deps := m.DependentsOf(a); len(deps) != 1 || deps[0] != ab {
+		t.Fatalf("DependentsOf(a) = %v", deps)
+	}
+	if deps := m.DependentsOf(b); len(deps) != 0 {
+		t.Fatalf("DependentsOf(b) = %v, want none (opaque is undeclared)", deps)
+	}
+	if und := m.UndeclaredInputs(); len(und) != 1 || und[0] != opaque {
+		t.Fatalf("UndeclaredInputs() = %v", und)
+	}
+}
+
 func fixed(v float64) DelayFunc {
 	return func(*Marking, rng.Source) float64 { return v }
 }
 
-// buildCycle makes a two-place token cycle a→b→a with deterministic delays.
+// buildCycle makes a two-place token cycle a→b→a with deterministic delays
+// and fully declared read-sets.
 func buildCycle(da, db float64) (*Model, *Place, *Place) {
 	m := NewModel("cycle")
 	a := m.Place("a", 1)
 	b := m.Place("b", 0)
 	m.AddTimed(Activity{
-		Name:    "a_to_b",
-		Enabled: func(mk *Marking) bool { return mk.Has(a) },
-		Delay:   fixed(da),
-		Fire:    func(mk *Marking) { mk.Move(a, b) },
+		Name:   "a_to_b",
+		Input:  AllOf(a),
+		Delay:  fixed(da),
+		Output: Out(func(mk *Marking) { mk.Move(a, b) }),
 	})
 	m.AddTimed(Activity{
-		Name:    "b_to_a",
-		Enabled: func(mk *Marking) bool { return mk.Has(b) },
-		Delay:   fixed(db),
-		Fire:    func(mk *Marking) { mk.Move(b, a) },
+		Name:   "b_to_a",
+		Input:  AllOf(b),
+		Delay:  fixed(db),
+		Output: Out(func(mk *Marking) { mk.Move(b, a) }),
 	})
 	return m, a, b
 }
@@ -126,7 +206,7 @@ func TestDeterministicCycle(t *testing.T) {
 			return 1
 		}
 		return 0
-	})
+	}, a)
 	sim.RunUntil(50) // ten full 5h cycles
 	wantA := 50.0 * 2 / 5
 	if math.Abs(fracA.Integral()-wantA) > 1e-9 {
@@ -141,7 +221,7 @@ func TestResetRestoresInitialState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := sim.AddRateReward("inA", func(mk *Marking) float64 { return float64(mk.Get(a)) })
+	r := sim.AddRateReward("inA", func(mk *Marking) float64 { return float64(mk.Get(a)) }, a)
 	sim.RunUntil(10)
 	if sim.Now() != 10 {
 		t.Fatal("clock did not advance")
@@ -168,15 +248,15 @@ func TestInstantaneousFiresBeforeTime(t *testing.T) {
 	done := m.Place("done", 0)
 	src := m.Place("src", 1)
 	m.AddTimed(Activity{
-		Name:    "emit",
-		Enabled: func(mk *Marking) bool { return mk.Has(src) },
-		Delay:   fixed(1),
-		Fire:    func(mk *Marking) { mk.Move(src, trigger) },
+		Name:   "emit",
+		Input:  AllOf(src),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Move(src, trigger) }),
 	})
 	m.AddInstant(Activity{
-		Name:    "react",
-		Enabled: func(mk *Marking) bool { return mk.Has(trigger) },
-		Fire:    func(mk *Marking) { mk.Move(trigger, done) },
+		Name:   "react",
+		Input:  AllOf(trigger),
+		Output: Out(func(mk *Marking) { mk.Move(trigger, done) }),
 	})
 	sim, err := NewSimulator(m, rng.New(3))
 	if err != nil {
@@ -204,13 +284,13 @@ func TestInstantaneousPriority(t *testing.T) {
 	lo := m.Place("lo", 0)
 	m.AddInstant(Activity{
 		Name: "low", Priority: 1,
-		Enabled: func(mk *Marking) bool { return mk.Has(tok) },
-		Fire:    func(mk *Marking) { mk.Move(tok, lo) },
+		Input:  AllOf(tok),
+		Output: Out(func(mk *Marking) { mk.Move(tok, lo) }),
 	})
 	m.AddInstant(Activity{
 		Name: "high", Priority: 2,
-		Enabled: func(mk *Marking) bool { return mk.Has(tok) },
-		Fire:    func(mk *Marking) { mk.Move(tok, hi) },
+		Input:  AllOf(tok),
+		Output: Out(func(mk *Marking) { mk.Move(tok, hi) }),
 	})
 	sim, err := NewSimulator(m, rng.New(4))
 	if err != nil {
@@ -226,14 +306,14 @@ func TestInstantLivelockPanics(t *testing.T) {
 	a := m.Place("a", 1)
 	b := m.Place("b", 0)
 	m.AddInstant(Activity{
-		Name:    "ab",
-		Enabled: func(mk *Marking) bool { return mk.Has(a) },
-		Fire:    func(mk *Marking) { mk.Move(a, b) },
+		Name:   "ab",
+		Input:  AllOf(a),
+		Output: Out(func(mk *Marking) { mk.Move(a, b) }),
 	})
 	m.AddInstant(Activity{
-		Name:    "ba",
-		Enabled: func(mk *Marking) bool { return mk.Has(b) },
-		Fire:    func(mk *Marking) { mk.Move(b, a) },
+		Name:   "ba",
+		Input:  AllOf(b),
+		Output: Out(func(mk *Marking) { mk.Move(b, a) }),
 	})
 	defer func() {
 		if recover() == nil {
@@ -251,16 +331,16 @@ func TestDisablingCancelsTimedActivity(t *testing.T) {
 	slowDst := m.Place("slow_dst", 0)
 	fastDst := m.Place("fast_dst", 0)
 	m.AddTimed(Activity{
-		Name:    "slow",
-		Enabled: func(mk *Marking) bool { return mk.Has(shared) },
-		Delay:   fixed(10),
-		Fire:    func(mk *Marking) { mk.Move(shared, slowDst) },
+		Name:   "slow",
+		Input:  AllOf(shared),
+		Delay:  fixed(10),
+		Output: Out(func(mk *Marking) { mk.Move(shared, slowDst) }),
 	})
 	m.AddTimed(Activity{
-		Name:    "fast",
-		Enabled: func(mk *Marking) bool { return mk.Has(shared) },
-		Delay:   fixed(1),
-		Fire:    func(mk *Marking) { mk.Move(shared, fastDst) },
+		Name:   "fast",
+		Input:  AllOf(shared),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Move(shared, fastDst) }),
 	})
 	sim, err := NewSimulator(m, rng.New(6))
 	if err != nil {
@@ -283,21 +363,21 @@ func TestReactivationResamples(t *testing.T) {
 	out := m.Place("out", 0)
 	flip := m.Place("flip", 1)
 	m.AddTimed(Activity{
-		Name:    "flip_mode",
-		Enabled: func(mk *Marking) bool { return mk.Has(flip) },
-		Delay:   fixed(1),
-		Fire:    func(mk *Marking) { mk.Clear(flip); mk.Set(mode, 1) },
+		Name:   "flip_mode",
+		Input:  AllOf(flip),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Clear(flip); mk.Set(mode, 1) }),
 	})
 	m.AddTimed(Activity{
-		Name:    "job",
-		Enabled: func(mk *Marking) bool { return mk.Has(run) },
+		Name:  "job",
+		Input: AllOf(run),
 		Delay: func(mk *Marking, _ rng.Source) float64 {
 			if mk.Has(mode) {
 				return 2
 			}
 			return 100
 		},
-		Fire:         func(mk *Marking) { mk.Move(run, out) },
+		Output:       Out(func(mk *Marking) { mk.Move(run, out) }),
 		ReactivateOn: []*Place{mode},
 	})
 	sim, err := NewSimulator(m, rng.New(7))
@@ -324,21 +404,21 @@ func TestNoReactivationKeepsSample(t *testing.T) {
 	out := m.Place("out", 0)
 	flip := m.Place("flip", 1)
 	m.AddTimed(Activity{
-		Name:    "flip_mode",
-		Enabled: func(mk *Marking) bool { return mk.Has(flip) },
-		Delay:   fixed(1),
-		Fire:    func(mk *Marking) { mk.Clear(flip); mk.Set(mode, 1) },
+		Name:   "flip_mode",
+		Input:  AllOf(flip),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Clear(flip); mk.Set(mode, 1) }),
 	})
 	m.AddTimed(Activity{
-		Name:    "job",
-		Enabled: func(mk *Marking) bool { return mk.Has(run) },
+		Name:  "job",
+		Input: AllOf(run),
 		Delay: func(mk *Marking, _ rng.Source) float64 {
 			if mk.Has(mode) {
 				return 2
 			}
 			return 100
 		},
-		Fire: func(mk *Marking) { mk.Move(run, out) },
+		Output: Out(func(mk *Marking) { mk.Move(run, out) }),
 	})
 	sim, err := NewSimulator(m, rng.New(8))
 	if err != nil {
@@ -431,28 +511,28 @@ func TestExponentialRaceWinProbability(t *testing.T) {
 	slow := m.Place("slow", 0)
 	reload := m.Place("reload", 0)
 	m.AddTimed(Activity{
-		Name:    "fast_act",
-		Enabled: func(mk *Marking) bool { return mk.Has(tok) },
+		Name:  "fast_act",
+		Input: AllOf(tok),
 		Delay: func(_ *Marking, src rng.Source) float64 {
 			return rng.Exponential{MeanValue: 1.0 / 3}.Sample(src)
 		},
-		Fire: func(mk *Marking) { mk.Move(tok, fast); mk.Add(reload, 1) },
+		Output: Out(func(mk *Marking) { mk.Move(tok, fast); mk.Add(reload, 1) }),
 	})
 	m.AddTimed(Activity{
-		Name:    "slow_act",
-		Enabled: func(mk *Marking) bool { return mk.Has(tok) },
+		Name:  "slow_act",
+		Input: AllOf(tok),
 		Delay: func(_ *Marking, src rng.Source) float64 {
 			return rng.Exponential{MeanValue: 1.0}.Sample(src)
 		},
-		Fire: func(mk *Marking) { mk.Move(tok, slow); mk.Add(reload, 1) },
+		Output: Out(func(mk *Marking) { mk.Move(tok, slow); mk.Add(reload, 1) }),
 	})
 	m.AddInstant(Activity{
-		Name:    "restart",
-		Enabled: func(mk *Marking) bool { return mk.Has(reload) },
-		Fire: func(mk *Marking) {
+		Name:  "restart",
+		Input: AllOf(reload),
+		Output: Out(func(mk *Marking) {
 			mk.Clear(reload)
 			mk.Set(tok, 1)
-		},
+		}),
 	})
 	sim, err := NewSimulator(m, rng.New(11))
 	if err != nil {
@@ -490,16 +570,16 @@ func TestRateRewardAfterReset(t *testing.T) {
 	on := m.Place("on", 1)
 	off := m.Place("off", 0)
 	m.AddTimed(Activity{
-		Name:    "kill",
-		Enabled: func(mk *Marking) bool { return mk.Has(on) },
-		Delay:   fixed(1),
-		Fire:    func(mk *Marking) { mk.Move(on, off) },
+		Name:   "kill",
+		Input:  AllOf(on),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Move(on, off) }),
 	})
 	sim, err := NewSimulator(m, rng.New(13))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := sim.AddRateReward("up", func(mk *Marking) float64 { return float64(mk.Get(on)) })
+	r := sim.AddRateReward("up", func(mk *Marking) float64 { return float64(mk.Get(on)) }, on)
 	sim.RunUntil(5)
 	if math.Abs(r.Integral()-1) > 1e-9 {
 		t.Fatalf("first run integral = %v, want 1", r.Integral())
@@ -516,10 +596,10 @@ func TestInvariantViolationPanics(t *testing.T) {
 	a := m.Place("a", 1)
 	b := m.Place("b", 0)
 	m.AddTimed(Activity{
-		Name:    "leak",
-		Enabled: func(mk *Marking) bool { return mk.Has(a) },
-		Delay:   fixed(1),
-		Fire:    func(mk *Marking) { mk.Add(b, 2) }, // breaks conservation
+		Name:   "leak",
+		Input:  AllOf(a),
+		Delay:  fixed(1),
+		Output: Out(func(mk *Marking) { mk.Add(b, 2) }), // breaks conservation
 	})
 	sim, err := NewSimulator(m, rng.New(30))
 	if err != nil {
@@ -577,15 +657,16 @@ func TestSnapshotIsCopy(t *testing.T) {
 
 func TestTimedActivityReenablesAfterFire(t *testing.T) {
 	// A self-re-enabling timed activity must fire repeatedly with fresh
-	// samples.
+	// samples — its firing changes no place, so the incremental scheduler
+	// must reconcile it through the fired-activity hook, not the dirty set.
 	m := NewModel("self")
 	tick := m.Place("tick", 1)
 	count := 0
 	m.AddTimed(Activity{
-		Name:    "metronome",
-		Enabled: func(mk *Marking) bool { return mk.Has(tick) },
-		Delay:   fixed(2),
-		Fire:    func(mk *Marking) { count++ },
+		Name:   "metronome",
+		Input:  AllOf(tick),
+		Delay:  fixed(2),
+		Output: Out(func(mk *Marking) { count++ }),
 	})
 	sim, err := NewSimulator(m, rng.New(33))
 	if err != nil {
@@ -594,5 +675,45 @@ func TestTimedActivityReenablesAfterFire(t *testing.T) {
 	sim.RunUntil(11)
 	if count != 5 {
 		t.Fatalf("metronome fired %d times in 11h, want 5", count)
+	}
+}
+
+// TestUndeclaredGateStaysCorrect: a net whose input gates declare no reads
+// must still simulate correctly — the scheduler falls back to rescanning
+// the undeclared activities after every firing.
+func TestUndeclaredGateStaysCorrect(t *testing.T) {
+	m := NewModel("opaque")
+	a := m.Place("a", 1)
+	b := m.Place("b", 0)
+	m.AddTimed(Activity{
+		Name:   "a_to_b",
+		Input:  When(func(mk *Marking) bool { return mk.Has(a) }),
+		Delay:  fixed(2),
+		Output: Out(func(mk *Marking) { mk.Move(a, b) }),
+	})
+	m.AddInstant(Activity{
+		Name:   "b_back",
+		Input:  When(func(mk *Marking) bool { return mk.Has(b) }),
+		Output: Out(func(mk *Marking) { mk.Move(b, a) }),
+	})
+	sim, err := NewSimulator(m, rng.New(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounces := 0
+	sim.SetTrace(func(_ float64, a *Activity, _ *Marking) {
+		if a.Name == "b_back" {
+			bounces++
+		}
+	})
+	sim.RunUntil(10)
+	if sim.Fired() != 5 { // timed firings at t=2,4,6,8,10
+		t.Fatalf("fired %d, want 5", sim.Fired())
+	}
+	if bounces != 5 {
+		t.Fatalf("instant bounced %d times, want 5", bounces)
+	}
+	if sim.Snapshot()["a"] != 1 {
+		t.Fatalf("token not back in a: %v", sim.Snapshot())
 	}
 }

@@ -3,11 +3,82 @@ package san
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/des"
 	"repro/internal/rng"
 )
+
+// Marking is the read/write view of the net's state passed to predicates
+// and effects. Besides the token counts it keeps two change records that
+// drive the incremental scheduler:
+//
+//   - log: every value change since the last settle, in change order and
+//     without dedup — consumed per-firing (instantaneous enabling, rate
+//     reward refresh);
+//   - dirty + stamp/gen: the deduped set of places changed since the last
+//     settle — consumed once per settle (timed reconciliation,
+//     reactivation). A generation counter replaces the old per-firing
+//     map[int]bool, so clearing is O(1) with no map churn.
+type Marking struct {
+	tokens []int
+	stamp  []uint64 // generation when the place last changed
+	gen    uint64   // current generation; stamp[i] == gen ⇔ i is dirty
+	dirty  []int32  // places changed this generation, deduped
+	log    []int32  // every change this generation, in order, with repeats
+	model  *Model
+}
+
+// Get returns the number of tokens in p.
+func (m *Marking) Get(p *Place) int { return m.tokens[p.index] }
+
+// Has reports whether p holds at least one token.
+func (m *Marking) Has(p *Place) bool { return m.tokens[p.index] > 0 }
+
+// Set assigns the token count of p. Negative counts panic: they always
+// indicate a broken gate function.
+func (m *Marking) Set(p *Place, n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("san: place %q set to negative count %d", p.Name, n))
+	}
+	if m.tokens[p.index] == n {
+		return
+	}
+	m.tokens[p.index] = n
+	idx := int32(p.index)
+	if m.stamp[p.index] != m.gen {
+		m.stamp[p.index] = m.gen
+		m.dirty = append(m.dirty, idx)
+	}
+	m.log = append(m.log, idx)
+}
+
+// Add adds delta tokens to p (delta may be negative).
+func (m *Marking) Add(p *Place, delta int) { m.Set(p, m.Get(p)+delta) }
+
+// Move transfers one token from src to dst; it panics when src is empty,
+// because moving a non-existent token is a structural modeling error.
+func (m *Marking) Move(src, dst *Place) {
+	if m.Get(src) < 1 {
+		panic(fmt.Sprintf("san: move from empty place %q", src.Name))
+	}
+	m.Add(src, -1)
+	m.Add(dst, 1)
+}
+
+// Clear removes all tokens from p.
+func (m *Marking) Clear(p *Place) { m.Set(p, 0) }
+
+// clearDirty closes the current change generation: O(1), no allocation.
+func (m *Marking) clearDirty() {
+	m.gen++
+	m.dirty = m.dirty[:0]
+	m.log = m.log[:0]
+}
+
+// dirtyNow reports whether place index pi changed in the open generation.
+func (m *Marking) dirtyNow(pi int32) bool { return m.stamp[pi] == m.gen }
 
 // RateReward integrates a marking-dependent rate over simulated time, the
 // SAN analogue of accumulated reward (the paper's useful-work measure is
@@ -57,27 +128,59 @@ type Invariant struct {
 // Simulator executes a Model as a discrete-event simulation. Create with
 // NewSimulator; a Simulator is single-use for one trajectory (call Reset to
 // reuse, which restores the initial marking and clears rewards).
+//
+// By default the simulator schedules incrementally: after each firing only
+// the activities and rate rewards whose declared read places changed are
+// reconciled, found through the model's dependency index. The FullScan
+// option restores the historic O(places + activities) rescan of the whole
+// net after every firing; both schedulers produce bit-identical
+// trajectories when all read-sets are declared correctly, which the
+// differential tests assert.
 type Simulator struct {
 	model *Model
 	src   rng.Source
 	eng   *des.Engine
 
 	marking   *Marking
-	scheduled []*des.Event // per-activity pending event (nil when disabled)
-	enabled   []bool
+	scheduled []*des.Event        // per-activity pending event (nil when disabled)
+	enabled   []bool              // timed activities: scheduled at last reconcile
+	instOn    []bool              // instantaneous activities: cached input-gate truth
+	handlers  []func(*des.Engine) // per-activity firing handlers, built once
 
-	rates      []*RateReward
-	impulses   map[int][]*ImpulseHook
+	rates     []*RateReward
+	rateWatch [][]int32 // place index → rate rewards whose declared reads include it
+	rateScan  []int32   // rate rewards with undeclared read-sets
+	rateMark  []uint64  // per-reward dedup stamps for one refresh pass
+	rateGen   uint64
+
+	impulses [][]*ImpulseHook // per-activity impulse hooks
+
+	// Scratch state for the affected-activity closure of one settle.
+	actMark  []uint64 // per-activity dedup stamps
+	actGen   uint64
+	affected []int32
+
+	instCursor int // prefix of marking.log already absorbed into instOn
+	firedAct   int // timed activity whose event fired this settle (-1: none)
+
 	trace      TraceFunc
 	invariants []Invariant
+
+	// FullScan disables incremental reconciliation: every settle rescans
+	// all activities and every firing re-evaluates all rate rewards, as
+	// the pre-index executor did. Kept for differential testing and as a
+	// debugging aid when a gate's declared read-set is suspect. The flag
+	// may be toggled between runs of the same simulator; both modes keep
+	// the incremental caches coherent.
+	FullScan bool
 
 	// MaxInstantChain guards against livelock among instantaneous
 	// activities; exceeded chains panic. Default 10000.
 	MaxInstantChain int
 }
 
-// NewSimulator validates the model and prepares an executor with the given
-// random source.
+// NewSimulator validates the model (building its dependency index) and
+// prepares an executor with the given random source.
 func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
 	if err := model.Validate(); err != nil {
 		return nil, fmt.Errorf("san: %w", err)
@@ -85,8 +188,25 @@ func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
 	s := &Simulator{
 		model:           model,
 		src:             src,
-		impulses:        make(map[int][]*ImpulseHook),
+		rateWatch:       make([][]int32, len(model.places)),
+		impulses:        make([][]*ImpulseHook, len(model.activities)),
+		actMark:         make([]uint64, len(model.activities)),
+		firedAct:        -1,
 		MaxInstantChain: 10000,
+	}
+	s.handlers = make([]func(*des.Engine), len(model.activities))
+	for _, a := range model.activities {
+		if a.Kind != Timed {
+			continue
+		}
+		a := a
+		s.handlers[a.index] = func(*des.Engine) {
+			s.scheduled[a.index] = nil
+			s.enabled[a.index] = false
+			s.firedAct = a.index
+			s.fire(a)
+			s.settle()
+		}
 	}
 	s.Reset()
 	return s, nil
@@ -94,16 +214,30 @@ func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
 
 // Reset restores the initial marking, clears the event queue and rewards,
 // and rewinds the clock to zero. The random source is NOT reset, so
-// consecutive trajectories are independent.
+// consecutive trajectories are independent. The model's dependency index
+// and the rewards' declared read-sets are retained — only trajectory state
+// is rebuilt.
 func (s *Simulator) Reset() {
-	tokens := make([]int, len(s.model.places))
+	n := len(s.model.places)
+	tokens := make([]int, n)
 	for _, p := range s.model.places {
 		tokens[p.index] = p.Initial
 	}
-	s.marking = &Marking{tokens: tokens, changed: make(map[int]bool), model: s.model}
+	m := &Marking{tokens: tokens, stamp: make([]uint64, n), gen: 1, model: s.model}
+	// Every place starts dirty so the first settle performs the initial
+	// reconciliation through the same incremental path as any other.
+	for i := 0; i < n; i++ {
+		m.stamp[i] = m.gen
+		m.dirty = append(m.dirty, int32(i))
+		m.log = append(m.log, int32(i))
+	}
+	s.marking = m
 	s.eng = des.New()
 	s.scheduled = make([]*des.Event, len(s.model.activities))
 	s.enabled = make([]bool, len(s.model.activities))
+	s.instOn = make([]bool, len(s.model.activities))
+	s.instCursor = 0
+	s.firedAct = -1
 	for _, hooks := range s.impulses {
 		for _, h := range hooks {
 			h.total, h.count = 0, 0
@@ -138,11 +272,27 @@ func (s *Simulator) AddInvariant(name string, check func(m *Marking) error) {
 }
 
 // AddRateReward registers a rate reward evaluated over the marking process.
-func (s *Simulator) AddRateReward(name string, rate func(m *Marking) float64) *RateReward {
+// The variadic reads declare the places the rate function depends on; with
+// them the incremental scheduler re-evaluates the rate only when one of
+// those places changes. Omitting reads is always correct but re-evaluates
+// the rate after every firing.
+func (s *Simulator) AddRateReward(name string, rate func(m *Marking) float64, reads ...*Place) *RateReward {
 	r := &RateReward{Name: name, Rate: rate}
 	r.lastRate = rate(s.marking)
 	r.lastTime = s.eng.Now()
+	ri := int32(len(s.rates))
 	s.rates = append(s.rates, r)
+	s.rateMark = append(s.rateMark, 0)
+	if len(reads) == 0 {
+		s.rateScan = append(s.rateScan, ri)
+		return r
+	}
+	for _, p := range reads {
+		if !s.model.owns(p) {
+			panic(fmt.Sprintf("san: rate reward %q reads foreign place %q", name, p.Name))
+		}
+		s.rateWatch[p.index] = append(s.rateWatch[p.index], ri)
+	}
 	return r
 }
 
@@ -166,30 +316,47 @@ func (s *Simulator) Step() bool { return s.eng.Step() }
 
 // settle performs the post-firing fixed point: fire enabled instantaneous
 // activities (highest priority first) until none are enabled, then
-// reconcile timed activity schedules with the new marking.
+// reconcile timed activity schedules with the new marking. Incremental
+// mode touches only the activities in the dirty closure — the set reached
+// from the changed places through the dependency index, plus the activity
+// that just fired (whose schedule changed without any place needing to).
 func (s *Simulator) settle() {
 	for chain := 0; ; chain++ {
 		if chain > s.MaxInstantChain {
 			panic(fmt.Sprintf("san: instantaneous livelock in model %s", s.model.Name))
 		}
-		a := s.nextInstant()
+		var a *Activity
+		if s.FullScan {
+			a = s.nextInstantFull()
+		} else {
+			s.absorbInstantDirt()
+			a = s.nextInstantCached()
+		}
 		if a == nil {
 			break
 		}
 		s.fire(a)
 	}
-	s.reconcileTimed()
-	for k := range s.marking.changed {
-		delete(s.marking.changed, k)
+	if s.FullScan {
+		s.reconcileTimedFull()
+	} else {
+		s.reconcileTimedDirty()
 	}
+	s.firedAct = -1
+	s.instCursor = 0
+	s.marking.clearDirty()
 }
 
-// nextInstant returns the highest-priority enabled instantaneous activity,
-// or nil. Ties break by creation order for determinism.
-func (s *Simulator) nextInstant() *Activity {
+// nextInstantFull scans every instantaneous activity, refreshing the
+// enabling cache as it goes, and returns the highest-priority enabled one
+// (ties break by creation order for determinism), or nil.
+func (s *Simulator) nextInstantFull() *Activity {
 	var best *Activity
-	for _, a := range s.model.activities {
-		if a.Kind != Instantaneous || !a.Enabled(s.marking) {
+	for _, ai := range s.model.deps.instants {
+		a := s.model.activities[ai]
+		on := a.Input.Cond(s.marking)
+		s.instOn[ai] = on
+		if !on {
 			continue
 		}
 		if best == nil || a.Priority > best.Priority {
@@ -199,38 +366,122 @@ func (s *Simulator) nextInstant() *Activity {
 	return best
 }
 
-// reconcileTimed cancels newly-disabled timed activities, schedules
-// newly-enabled ones, and resamples activities whose reactivation places
-// changed.
-func (s *Simulator) reconcileTimed() {
-	for _, a := range s.model.activities {
-		if a.Kind != Timed {
+// absorbInstantDirt re-evaluates the instantaneous activities whose
+// declared reads include a place changed since the last absorption, plus
+// the undeclared ones, updating the enabling cache.
+func (s *Simulator) absorbInstantDirt() {
+	m := s.marking
+	if s.instCursor == len(m.log) {
+		return
+	}
+	deps := s.model.deps
+	s.actGen++
+	for _, pi := range m.log[s.instCursor:] {
+		for _, ai := range deps.enableInst[pi] {
+			if s.actMark[ai] == s.actGen {
+				continue
+			}
+			s.actMark[ai] = s.actGen
+			s.instOn[ai] = s.model.activities[ai].Input.Cond(m)
+		}
+	}
+	for _, ai := range deps.scanInst {
+		s.instOn[ai] = s.model.activities[ai].Input.Cond(m)
+	}
+	s.instCursor = len(m.log)
+}
+
+// nextInstantCached picks the highest-priority enabled instantaneous
+// activity from the cache maintained by absorbInstantDirt. Creation-order
+// iteration preserves the full scan's tie-breaking exactly.
+func (s *Simulator) nextInstantCached() *Activity {
+	var best *Activity
+	for _, ai := range s.model.deps.instants {
+		if !s.instOn[ai] {
 			continue
 		}
-		on := a.Enabled(s.marking)
-		was := s.enabled[a.index]
-		switch {
-		case on && !was:
-			s.schedule(a)
-		case !on && was:
-			s.eng.Cancel(s.scheduled[a.index])
-			s.scheduled[a.index] = nil
-			s.enabled[a.index] = false
-		case on && was && s.touched(a):
-			s.eng.Cancel(s.scheduled[a.index])
-			s.schedule(a)
+		a := s.model.activities[ai]
+		if best == nil || a.Priority > best.Priority {
+			best = a
 		}
+	}
+	return best
+}
+
+// reconcileTimedFull cancels newly-disabled timed activities, schedules
+// newly-enabled ones, and resamples activities whose reactivation places
+// changed — scanning every timed activity (the historic scheduler).
+func (s *Simulator) reconcileTimedFull() {
+	for _, ai := range s.model.deps.timed {
+		s.reconcileOne(s.model.activities[ai])
+	}
+}
+
+// reconcileTimedDirty reconciles only the timed activities in the dirty
+// closure: watchers of changed places (enabling or reactivation),
+// undeclared activities, and the activity that fired. Processing in
+// creation order keeps delay-sampling order — and therefore the random
+// stream — identical to the full scan.
+func (s *Simulator) reconcileTimedDirty() {
+	m := s.marking
+	deps := s.model.deps
+	s.actGen++
+	s.affected = s.affected[:0]
+	if fa := s.firedAct; fa >= 0 {
+		s.actMark[fa] = s.actGen
+		s.affected = append(s.affected, int32(fa))
+	}
+	for _, pi := range m.dirty {
+		for _, ai := range deps.enableTimed[pi] {
+			if s.actMark[ai] != s.actGen {
+				s.actMark[ai] = s.actGen
+				s.affected = append(s.affected, ai)
+			}
+		}
+		for _, ai := range deps.react[pi] {
+			if s.actMark[ai] != s.actGen {
+				s.actMark[ai] = s.actGen
+				s.affected = append(s.affected, ai)
+			}
+		}
+	}
+	if len(m.dirty) > 0 {
+		for _, ai := range deps.scanTimed {
+			if s.actMark[ai] != s.actGen {
+				s.actMark[ai] = s.actGen
+				s.affected = append(s.affected, ai)
+			}
+		}
+	}
+	slices.Sort(s.affected)
+	for _, ai := range s.affected {
+		s.reconcileOne(s.model.activities[ai])
+	}
+}
+
+// reconcileOne applies the schedule/cancel/resample decision for one timed
+// activity against the current marking.
+func (s *Simulator) reconcileOne(a *Activity) {
+	on := a.Input.Cond(s.marking)
+	was := s.enabled[a.index]
+	switch {
+	case on && !was:
+		s.schedule(a)
+	case !on && was:
+		s.eng.Cancel(s.scheduled[a.index])
+		s.scheduled[a.index] = nil
+		s.enabled[a.index] = false
+	case on && was && s.touched(a):
+		s.eng.Cancel(s.scheduled[a.index])
+		s.schedule(a)
 	}
 }
 
 // touched reports whether any of the activity's reactivation places changed
-// during the last firing.
+// during the current settle.
 func (s *Simulator) touched(a *Activity) bool {
-	if len(a.reactivate) == 0 {
-		return false
-	}
-	for idx := range s.marking.changed {
-		if a.reactivate[idx] {
+	for _, pi := range a.reactivate {
+		if s.marking.dirtyNow(pi) {
 			return true
 		}
 	}
@@ -244,24 +495,24 @@ func (s *Simulator) schedule(a *Activity) {
 		panic(fmt.Sprintf("san: activity %q sampled invalid delay %v", a.Name, d))
 	}
 	s.enabled[a.index] = true
-	s.scheduled[a.index] = s.eng.ScheduleAfter(d, a.Name, func(*des.Engine) {
-		s.scheduled[a.index] = nil
-		s.enabled[a.index] = false
-		s.fire(a)
-		s.settle()
-	})
+	s.scheduled[a.index] = s.eng.ScheduleAfter(d, a.Name, s.handlers[a.index])
 }
 
 // fire applies a's effect, accrues rewards and notifies the trace.
 func (s *Simulator) fire(a *Activity) {
 	now := s.eng.Now()
 	s.accrueRates(now)
-	a.Fire(s.marking)
+	preLog := len(s.marking.log)
+	a.Output.Apply(s.marking)
 	for _, h := range s.impulses[a.index] {
 		h.total += h.Impulse(s.marking)
 		h.count++
 	}
-	s.refreshRates(now)
+	if s.FullScan {
+		s.refreshRatesFull(now)
+	} else {
+		s.refreshRatesDirty(now, preLog)
+	}
 	for _, inv := range s.invariants {
 		if err := inv.Check(s.marking); err != nil {
 			panic(fmt.Sprintf("san: invariant %q violated after %s at t=%v: %v (marking: %s)",
@@ -274,7 +525,9 @@ func (s *Simulator) fire(a *Activity) {
 }
 
 // accrueRates integrates each rate reward up to time t with the
-// pre-firing rate.
+// pre-firing rate. This stays a full pass in both modes — two float
+// operations per reward, and skipping some would change the order of
+// floating-point accumulation and break bit-identity with the full scan.
 func (s *Simulator) accrueRates(t float64) {
 	for _, r := range s.rates {
 		r.integral += r.lastRate * (t - r.lastTime)
@@ -282,10 +535,38 @@ func (s *Simulator) accrueRates(t float64) {
 	}
 }
 
-// refreshRates re-evaluates rates against the post-firing marking.
-func (s *Simulator) refreshRates(t float64) {
+// refreshRatesFull re-evaluates every rate against the post-firing marking.
+func (s *Simulator) refreshRatesFull(t float64) {
 	for _, r := range s.rates {
 		r.lastRate = r.Rate(s.marking)
+		r.lastTime = t
+	}
+}
+
+// refreshRatesDirty re-evaluates only the rates whose declared reads
+// include a place changed by this firing (the marking log past from), plus
+// the undeclared ones. A skipped rate would have re-evaluated to the same
+// value, so the accrued integrals stay bit-identical to the full scan.
+func (s *Simulator) refreshRatesDirty(t float64, from int) {
+	m := s.marking
+	if len(m.log) == from {
+		return
+	}
+	s.rateGen++
+	for _, pi := range m.log[from:] {
+		for _, ri := range s.rateWatch[pi] {
+			if s.rateMark[ri] == s.rateGen {
+				continue
+			}
+			s.rateMark[ri] = s.rateGen
+			r := s.rates[ri]
+			r.lastRate = r.Rate(m)
+			r.lastTime = t
+		}
+	}
+	for _, ri := range s.rateScan {
+		r := s.rates[ri]
+		r.lastRate = r.Rate(m)
 		r.lastTime = t
 	}
 }
