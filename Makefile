@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench figures figures-paper report examples clean
+.PHONY: all build test vet race bench cover figures figures-paper report examples clean
 
 all: build vet test
 
@@ -23,10 +23,20 @@ race:
 
 # One benchmark per paper figure plus ablations and micro-benchmarks.
 # The scheduler benchmarks (BenchmarkSettle, BenchmarkTrajectory) compare
-# the incremental dependency-index path against the full-scan fallback.
+# the incremental dependency-index path against the full-scan fallback;
+# BenchmarkObsOverhead pins the instrumented event loop within 3% of the
+# bare one (recorded in REPORT.md); the internal/obs benchmarks measure
+# the registry primitives themselves.
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/san ./internal/model
+	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/san ./internal/model ./internal/obs
+
+# Coverage profile plus a per-package summary (total line last).
+cover:
+	$(GO) test -cover -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@echo "per-function detail: $(GO) tool cover -func=coverage.out"
+	@echo "HTML report:         $(GO) tool cover -html=coverage.out"
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:
@@ -51,4 +61,4 @@ examples:
 	$(GO) run ./examples/jobplanner
 
 clean:
-	rm -rf results results-paper
+	rm -rf results results-paper coverage.out

@@ -43,6 +43,7 @@ func run(args []string) error {
 		out     = fs.String("out", "", "directory for per-figure output files (default: stdout)")
 		seed    = fs.Uint64("seed", 1, "root random seed")
 		workers = fs.Int("workers", runtime.NumCPU(), "concurrent figure cells (1 = sequential; results are identical for any value)")
+		metrics = fs.Bool("metrics", false, "print the collected telemetry table to stderr when done")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,11 @@ func run(args []string) error {
 	}
 	if *measure > 0 {
 		opts.Measure = *measure
+	}
+	var reg *repro.MetricsRegistry
+	if *metrics {
+		reg = repro.NewMetricsRegistry()
+		opts.Metrics = reg
 	}
 
 	defs := experiments.All()
@@ -95,6 +101,10 @@ func run(args []string) error {
 		if err := emit(fig, def, *csv, *chart, *out); err != nil {
 			return err
 		}
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "telemetry")
+		reg.WriteTable(os.Stderr)
 	}
 	return nil
 }

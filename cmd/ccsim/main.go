@@ -46,6 +46,9 @@ func run(args []string) error {
 		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent replications (1 = sequential; results are identical for any value)")
 		progress     = fs.Bool("progress", false, "stream replication progress to stderr")
 		verbose      = fs.Bool("v", false, "print per-replication metrics")
+		journalPath  = fs.String("journal", "", "write a JSONL run journal (one record per replication plus the estimate) to this file")
+		metrics      = fs.Bool("metrics", false, "print the collected telemetry table after the results")
+		debugAddr    = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the run (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,12 +127,42 @@ func run(args []string) error {
 		opts.Progress = func(p repro.Progress) {
 			fmt.Fprintf(os.Stderr, "\rccsim: replication %d/%d  events %d  %v ",
 				p.Done, p.Total, p.Events, p.Elapsed.Round(10*time.Millisecond))
-			if p.Done == p.Total {
+			if p.Final {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
+	var reg *repro.MetricsRegistry
+	if *metrics || *debugAddr != "" {
+		reg = repro.NewMetricsRegistry()
+		opts.Metrics = reg
+	}
+	if *debugAddr != "" {
+		srv, err := repro.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ccsim: debug endpoint on http://%s (/debug/pprof, /debug/vars, /metricz)\n", srv.Addr())
+	}
+	var journalFile *os.File
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			return err
+		}
+		journalFile = f
+		opts.Journal = repro.NewRunJournal(f)
+	}
 	res, err := repro.Simulate(cfg, opts)
+	if journalFile != nil {
+		if jerr := opts.Journal.Err(); jerr != nil && err == nil {
+			err = fmt.Errorf("journal: %w", jerr)
+		}
+		if cerr := journalFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -144,6 +177,11 @@ func run(args []string) error {
 	}
 	if eff, err := repro.AnalyticEfficiency(cfg, cfg.CheckpointInterval); err == nil {
 		fmt.Printf("analytic (Daly-style) efficiency, no coordination/correlation: %.4f\n", eff)
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Println("telemetry")
+		reg.WriteTable(os.Stdout)
 	}
 	return nil
 }

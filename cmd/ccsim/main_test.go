@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,5 +94,43 @@ func TestRunWithBrokenConfigFile(t *testing.T) {
 	}
 	if err := run([]string{"-config", path}); err == nil {
 		t.Fatal("broken config accepted")
+	}
+}
+
+func TestRunJournalMetricsAndDebugAddr(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	err := run([]string{
+		"-reps", "2", "-warmup", "20", "-measure", "100", "-procs", "8192",
+		"-journal", journal, "-metrics", "-debug-addr", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 { // 2 replications + 1 estimate
+		t.Fatalf("journal has %d lines, want 3:\n%s", len(lines), data)
+	}
+	var rec map[string]any
+	for i, l := range lines {
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+	}
+	if rec["kind"] != "estimate" {
+		t.Fatalf("last record kind = %v", rec["kind"])
+	}
+}
+
+func TestRunJournalUnwritablePath(t *testing.T) {
+	if err := run([]string{
+		"-reps", "1", "-warmup", "10", "-measure", "50", "-procs", "8192",
+		"-journal", filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl"),
+	}); err == nil {
+		t.Fatal("expected error for unwritable journal path")
 	}
 }

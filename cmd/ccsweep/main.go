@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 
 	"repro"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,9 @@ func run(args []string) error {
 		measure      = fs.Float64("measure", 1500, "measured hours per replication")
 		seed         = fs.Uint64("seed", 1, "root random seed")
 		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows (1 = sequential; results are identical for any value)")
+		journalPath  = fs.String("journal", "", "write a JSONL run journal (rows in input order, records labeled param=value) to this file")
+		metrics      = fs.Bool("metrics", false, "print the collected telemetry table to stderr after the sweep")
+		debugAddr    = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,24 +94,73 @@ func run(args []string) error {
 		vals = append(vals, v)
 	}
 
-	pool := exec.Pool{Workers: exec.WorkerCount(*workers)}
+	var reg *repro.MetricsRegistry
+	if *metrics || *debugAddr != "" {
+		reg = repro.NewMetricsRegistry()
+	}
+	if *debugAddr != "" {
+		srv, err := repro.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ccsweep: debug endpoint on http://%s (/debug/pprof, /debug/vars, /metricz)\n", srv.Addr())
+	}
+
+	// Each row journals into its own buffer; the buffers are concatenated
+	// in input order after the fan-out, so the journal file stays
+	// deterministic (modulo timestamps) at every worker count.
+	type row struct {
+		res     repro.Result
+		journal bytes.Buffer
+	}
+	pool := exec.Pool{Workers: exec.WorkerCount(*workers), Metrics: reg}
 	results, err := exec.Map(context.Background(), pool, len(vals),
-		func(_ context.Context, i int) (repro.Result, error) {
+		func(_ context.Context, i int) (*row, error) {
 			cfg := base
 			apply(&cfg, vals[i])
-			return repro.Simulate(cfg, repro.Options{
+			r := &row{}
+			opts := repro.Options{
 				Replications: *reps, Warmup: *warmup, Measure: *measure,
 				Seed:    *seed + uint64(i)*1000003,
 				Workers: 1, // the row sweep is already parallel
-			})
+				Metrics: reg,
+				Label:   fmt.Sprintf("%s=%g", *param, vals[i]),
+			}
+			if *journalPath != "" {
+				opts.Journal = obs.NewJournal(&r.journal)
+			}
+			var err error
+			r.res, err = repro.Simulate(cfg, opts)
+			return r, err
 		})
 	if err != nil {
 		return err
 	}
 
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if _, err := f.Write(r.journal.Bytes()); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("%-16s %-24s %-24s\n", *param, "useful work fraction", "total useful work")
-	for i, res := range results {
-		fmt.Printf("%-16g %-24v %-24v\n", vals[i], res.UsefulWorkFraction, res.TotalUsefulWork)
+	for i, r := range results {
+		fmt.Printf("%-16g %-24v %-24v\n", vals[i], r.res.UsefulWorkFraction, r.res.TotalUsefulWork)
+	}
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "telemetry")
+		reg.WriteTable(os.Stderr)
 	}
 	return nil
 }

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func quickArgs(extra ...string) []string {
@@ -83,5 +89,53 @@ func TestSweepRejectsInvalidConfigValue(t *testing.T) {
 func TestSweepRejectsBadMode(t *testing.T) {
 	if err := run(quickArgs("-coordination", "nope", "-values", "1")); err == nil {
 		t.Fatal("bad coordination mode accepted")
+	}
+}
+
+// TestSweepJournalDeterministicAcrossWorkers checks that the per-row
+// buffered journals concatenate in input order: apart from the wall-clock
+// fields, a parallel sweep writes the same file as a sequential one.
+func TestSweepJournalDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	sweep := func(workers, path string) []map[string]any {
+		t.Helper()
+		err := run(quickArgs("-param", "procs", "-values", "4096,8192",
+			"-reps", "2", "-workers", workers, "-journal", path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []map[string]any
+		for _, l := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(l), &m); err != nil {
+				t.Fatalf("bad journal line %q: %v", l, err)
+			}
+			for _, f := range obs.TimestampFields {
+				delete(m, f)
+			}
+			recs = append(recs, m)
+		}
+		return recs
+	}
+	seq := sweep("1", filepath.Join(dir, "seq.jsonl"))
+	par := sweep("4", filepath.Join(dir, "par.jsonl"))
+	if len(seq) != 6 { // 2 rows × (2 replications + 1 estimate)
+		t.Fatalf("sequential journal has %d records, want 6", len(seq))
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("journal differs across worker counts:\nseq %v\npar %v", seq, par)
+	}
+	if seq[0]["label"] != "procs=4096" || seq[3]["label"] != "procs=8192" {
+		t.Fatalf("row labels out of order: %v %v", seq[0]["label"], seq[3]["label"])
+	}
+}
+
+func TestSweepMetricsTable(t *testing.T) {
+	if err := run(quickArgs("-param", "procs", "-values", "4096", "-metrics")); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -49,10 +49,13 @@ func (ev *Event) Pending() bool { return ev.state == eventPending }
 // Engine is a sequential discrete-event simulator. The zero value is not
 // usable; construct with New.
 type Engine struct {
-	now     float64
-	queue   eventQueue
-	nextSeq uint64
-	fired   uint64
+	now        float64
+	queue      eventQueue
+	nextSeq    uint64
+	fired      uint64
+	scheduled  uint64
+	cancelled  uint64
+	maxPending int
 }
 
 // New returns an empty engine with the clock at zero.
@@ -70,6 +73,17 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Scheduled returns the number of events enqueued so far (fired, cancelled
+// and still pending alike) — together with Cancelled and MaxPending it is
+// the engine's contribution to the observability layer.
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Cancelled returns the number of events removed before firing.
+func (e *Engine) Cancelled() uint64 { return e.cancelled }
+
+// MaxPending returns the high-water mark of the future-event list.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // Schedule enqueues handler to run at absolute time t. Scheduling in the
 // past (t < Now) panics: it is always a model bug, and silently clamping
 // would corrupt causality. Events at identical times fire in scheduling
@@ -84,6 +98,10 @@ func (e *Engine) Schedule(t float64, name string, handler Handler) *Event {
 	ev := &Event{Time: t, Name: name, handler: handler, seq: e.nextSeq}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	e.scheduled++
+	if len(e.queue) > e.maxPending {
+		e.maxPending = len(e.queue)
+	}
 	return ev
 }
 
@@ -103,6 +121,7 @@ func (e *Engine) Cancel(ev *Event) {
 	ev.index = -1
 	ev.handler = nil
 	ev.state = eventCancelled
+	e.cancelled++
 }
 
 // Step fires the next event, advancing the clock, and reports whether an

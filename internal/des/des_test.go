@@ -224,3 +224,32 @@ func TestHeapProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEngineTelemetryCounters pins the engine-level observability counters:
+// Scheduled counts every enqueue, Cancelled every pre-fire removal, and
+// MaxPending the queue's high-water mark.
+func TestEngineTelemetryCounters(t *testing.T) {
+	e := New()
+	a := e.Schedule(1, "a", func(*Engine) {})
+	b := e.Schedule(2, "b", func(*Engine) {})
+	e.Schedule(3, "c", func(*Engine) {})
+	if e.Scheduled() != 3 || e.MaxPending() != 3 {
+		t.Fatalf("scheduled=%d maxPending=%d, want 3/3", e.Scheduled(), e.MaxPending())
+	}
+	e.Cancel(b)
+	e.Cancel(b) // no-op re-cancel must not double count
+	if e.Cancelled() != 1 {
+		t.Fatalf("cancelled = %d, want 1", e.Cancelled())
+	}
+	e.Run()
+	e.Cancel(a) // cancelling a fired event is a no-op
+	if e.Cancelled() != 1 {
+		t.Fatalf("cancelled after run = %d, want 1", e.Cancelled())
+	}
+	if e.Fired() != 2 || e.Scheduled() != 3 {
+		t.Fatalf("fired=%d scheduled=%d, want 2/3", e.Fired(), e.Scheduled())
+	}
+	if e.MaxPending() != 3 || e.Pending() != 0 {
+		t.Fatalf("maxPending=%d pending=%d, want 3/0", e.MaxPending(), e.Pending())
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Job is one unit of work. Jobs must be independent of each other; the
@@ -46,6 +48,11 @@ type Progress struct {
 	Failed int
 	// Elapsed is the wall time since the run began.
 	Elapsed time.Duration
+	// Final marks the last snapshot of a run. It is set exactly once per
+	// Run invocation, whether the run completed every job or ended early
+	// (cancellation, job failure), so consumers can flush line-oriented
+	// progress displays unconditionally.
+	Final bool
 }
 
 // Pool is a bounded worker pool. The zero value runs jobs sequentially on
@@ -57,6 +64,11 @@ type Pool struct {
 	// job state change (start and completion). Calls are serialized; the
 	// callback must not call back into the pool and should be fast.
 	OnProgress func(Progress)
+	// Metrics, when non-nil, receives pool telemetry: exec.jobs_started /
+	// exec.jobs_done / exec.jobs_failed counters, an exec.jobs_running
+	// gauge and an exec.job_wall_s timer of per-job wall time. The
+	// registry is shared and live, so a debug endpoint can watch a run.
+	Metrics *obs.Registry
 }
 
 // PanicError wraps a panic recovered from a job so the caller sees an
@@ -103,6 +115,13 @@ type run struct {
 	done    int
 	failed  int
 	aborted bool
+
+	// Metric handles, resolved once per Run when pool.Metrics is set.
+	mStarted *obs.Counter
+	mDone    *obs.Counter
+	mFailed  *obs.Counter
+	mRunning *obs.Gauge
+	mWall    *obs.Timer
 }
 
 // Run executes the jobs on at most p.Workers goroutines and blocks until
@@ -114,6 +133,13 @@ type run struct {
 // running, else nil.
 func (p Pool) Run(ctx context.Context, jobs []Job) error {
 	r := &run{pool: p, jobs: jobs, start: time.Now(), errs: make([]error, len(jobs))}
+	if m := p.Metrics; m != nil {
+		r.mStarted = m.Counter("exec.jobs_started")
+		r.mDone = m.Counter("exec.jobs_done")
+		r.mFailed = m.Counter("exec.jobs_failed")
+		r.mRunning = m.Gauge("exec.jobs_running")
+		r.mWall = m.Timer("exec.job_wall_s")
+	}
 	workers := p.Workers
 	if workers < 1 {
 		workers = 1
@@ -134,6 +160,14 @@ func (p Pool) Run(ctx context.Context, jobs []Job) error {
 			}()
 		}
 		wg.Wait()
+	}
+	// A run that completed every job already emitted its final snapshot
+	// from the last jobDone. Runs cut short (cancellation, failure abort)
+	// and empty runs still owe observers exactly one Final snapshot.
+	if r.done < len(jobs) || len(jobs) == 0 {
+		r.mu.Lock()
+		r.notifyLocked(true)
+		r.mu.Unlock()
 	}
 	for _, err := range r.errs {
 		if err != nil {
@@ -176,9 +210,10 @@ func (r *run) worker(ctx context.Context, next *counter) {
 		if !r.jobStarted() {
 			return
 		}
+		jobStart := time.Now()
 		err := capture(ctx, i, r.jobs[i])
 		r.errs[i] = err
-		r.jobDone(err != nil)
+		r.jobDone(err != nil, time.Since(jobStart))
 	}
 }
 
@@ -202,12 +237,16 @@ func (r *run) jobStarted() bool {
 	}
 	r.started++
 	r.running++
-	r.notifyLocked()
+	if r.mStarted != nil {
+		r.mStarted.Inc()
+		r.mRunning.Add(1)
+	}
+	r.notifyLocked(false)
 	return true
 }
 
-// jobDone records a job completion.
-func (r *run) jobDone(failed bool) {
+// jobDone records a job completion and its wall time.
+func (r *run) jobDone(failed bool, wall time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.running--
@@ -216,12 +255,22 @@ func (r *run) jobDone(failed bool) {
 		r.failed++
 		r.aborted = true
 	}
-	r.notifyLocked()
+	if r.mDone != nil {
+		r.mDone.Inc()
+		r.mRunning.Add(-1)
+		r.mWall.Observe(wall)
+		if failed {
+			r.mFailed.Inc()
+		}
+	}
+	// The natural last completion doubles as the run's final snapshot, so
+	// a fully-completed run keeps its historical snapshot count.
+	r.notifyLocked(r.done == len(r.jobs))
 }
 
 // notifyLocked delivers a progress snapshot; r.mu must be held, which
 // serializes the callback.
-func (r *run) notifyLocked() {
+func (r *run) notifyLocked(final bool) {
 	if r.pool.OnProgress == nil {
 		return
 	}
@@ -232,6 +281,7 @@ func (r *run) notifyLocked() {
 		Done:    r.done,
 		Failed:  r.failed,
 		Elapsed: time.Since(r.start),
+		Final:   final,
 	})
 }
 

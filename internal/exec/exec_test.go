@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestMapPreservesSubmissionOrder(t *testing.T) {
@@ -169,5 +172,154 @@ func TestMapConcurrentStress(t *testing.T) {
 		if v != float64(i)/3 {
 			t.Fatalf("result[%d] = %v", i, v)
 		}
+	}
+}
+
+// TestFinalSnapshotOnCancellation is the regression test for early-ended
+// runs: before Progress.Final existed, a cancelled run's last OnProgress
+// call was whatever job happened to finish last, with Done < Total and no
+// way for a consumer to know the run was over. Exactly one Final snapshot
+// must now close every run.
+func TestFinalSnapshotOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var snaps []Progress
+	pool := Pool{
+		Workers: 2,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		},
+	}
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = func(context.Context) error {
+			cancel()
+			return nil
+		}
+	}
+	if err := pool.Run(ctx, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots delivered")
+	}
+	finals := 0
+	for _, p := range snaps {
+		if p.Final {
+			finals++
+		}
+	}
+	if finals != 1 {
+		t.Fatalf("got %d Final snapshots, want exactly 1", finals)
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Final {
+		t.Fatalf("last snapshot not Final: %+v", last)
+	}
+	if last.Running != 0 {
+		t.Fatalf("final snapshot still shows running jobs: %+v", last)
+	}
+	if last.Done >= last.Total {
+		t.Fatalf("cancellation test completed all jobs (done=%d); cannot exercise the early-end path", last.Done)
+	}
+}
+
+func TestFinalSnapshotOnCompletionAndFailure(t *testing.T) {
+	// Normal completion: the last jobDone doubles as the Final snapshot,
+	// preserving the historical 2n snapshot count.
+	var snaps []Progress
+	pool := Pool{Workers: 3, OnProgress: func(p Progress) { snaps = append(snaps, p) }}
+	const n = 10
+	if _, err := Map(context.Background(), pool, n, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2*n {
+		t.Fatalf("got %d snapshots, want %d", len(snaps), 2*n)
+	}
+	for i, p := range snaps {
+		if p.Final != (i == len(snaps)-1) {
+			t.Fatalf("snapshot %d Final=%v: %+v", i, p.Final, p)
+		}
+	}
+
+	// Failure abort: dispatch stops, yet the run still closes with one
+	// Final snapshot.
+	snaps = nil
+	boom := errors.New("boom")
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		jobs[i] = func(context.Context) error { return boom }
+	}
+	seq := Pool{OnProgress: func(p Progress) { snaps = append(snaps, p) }}
+	if err := seq.Run(context.Background(), jobs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	finals := 0
+	for _, p := range snaps {
+		if p.Final {
+			finals++
+		}
+	}
+	if finals != 1 || !snaps[len(snaps)-1].Final {
+		t.Fatalf("failure-aborted run delivered %d Final snapshots (last=%+v)", finals, snaps[len(snaps)-1])
+	}
+
+	// Empty run: no jobs, still exactly one Final snapshot.
+	snaps = nil
+	if err := (Pool{OnProgress: func(p Progress) { snaps = append(snaps, p) }}).Run(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || !snaps[0].Final || snaps[0].Total != 0 {
+		t.Fatalf("empty run snapshots = %+v", snaps)
+	}
+}
+
+func TestPoolMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	pool := Pool{Workers: 4, Metrics: reg}
+	const n = 25
+	if _, err := Map(context.Background(), pool, n, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			time.Sleep(time.Millisecond)
+		}
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("exec.jobs_started").Value(); got != n {
+		t.Fatalf("jobs_started = %d, want %d", got, n)
+	}
+	if got := reg.Counter("exec.jobs_done").Value(); got != n {
+		t.Fatalf("jobs_done = %d, want %d", got, n)
+	}
+	if got := reg.Counter("exec.jobs_failed").Value(); got != 0 {
+		t.Fatalf("jobs_failed = %d, want 0", got)
+	}
+	if got := reg.Gauge("exec.jobs_running").Value(); got != 0 {
+		t.Fatalf("jobs_running = %d after run, want 0", got)
+	}
+	ts := reg.Timer("exec.job_wall_s").Snapshot()
+	if ts.Count != n {
+		t.Fatalf("job_wall_s count = %d, want %d", ts.Count, n)
+	}
+	if ts.Sum < 0 || ts.Min < 0 {
+		t.Fatalf("job wall times negative: %+v", ts)
+	}
+
+	// Failures are counted too, and the registry accumulates across runs.
+	boom := errors.New("boom")
+	if err := pool.Run(context.Background(), []Job{func(context.Context) error { return boom }}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := reg.Counter("exec.jobs_failed").Value(); got != 1 {
+		t.Fatalf("jobs_failed = %d, want 1", got)
+	}
+	if got := reg.Counter("exec.jobs_done").Value(); got != n+1 {
+		t.Fatalf("jobs_done = %d, want %d", got, n+1)
 	}
 }

@@ -34,7 +34,7 @@ func runSpecs(specs []seriesSpec, opts runner.Options) ([]Series, error) {
 			cells = append(cells, cellRef{si, xi})
 		}
 	}
-	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers), Metrics: opts.Metrics}
 	points, err := exec.Map(context.Background(), pool, len(cells),
 		func(_ context.Context, i int) (Point, error) {
 			sp := specs[cells[i].si]
@@ -45,6 +45,11 @@ func runSpecs(specs []seriesSpec, opts runner.Options) ([]Series, error) {
 			o.Seed = opts.Seed*1000003 + uint64(cells[i].xi)*7919 + hashName(sp.name)
 			o.Workers = 1 // the grid is already parallel; don't oversubscribe
 			o.Progress = nil
+			// Cells complete in scheduling order, so a shared journal would
+			// interleave nondeterministically; cells keep metrics (order-free
+			// atomics) but never journal. The cell label still tags them.
+			o.Journal = nil
+			o.Label = fmt.Sprintf("%s@%g", sp.name, x)
 			p, err := cell(cfg, x, o)
 			if err != nil {
 				return Point{}, fmt.Errorf("experiments: series %s x=%v: %w", sp.name, x, err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // BenchmarkTrajectory runs one steady-state trajectory of the paper's base
@@ -32,4 +33,43 @@ func BenchmarkTrajectory(b *testing.B) {
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of attaching the observability
+// shard to a trajectory: "bare" is the uninstrumented event loop,
+// "instrumented" runs the same trajectory with every san.*/des.* metric
+// recorded into a per-worker shard and merged at the end. The events/s gap
+// between the two is the instrumentation overhead; REPORT.md pins it
+// below 3 %.
+func BenchmarkObsOverhead(b *testing.B) {
+	const warmup, measure = 200.0, 1800.0
+	run := func(b *testing.B, instrument bool) {
+		var reg *obs.Registry
+		if instrument {
+			reg = obs.NewRegistry()
+		}
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			in, err := New(cluster.Default(), uint64(i)+1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sh *obs.Shard
+			if instrument {
+				sh = reg.NewShard()
+				in.Instrument(sh)
+			}
+			if _, err := in.RunSteadyState(warmup, measure); err != nil {
+				b.Fatal(err)
+			}
+			events += in.Fired()
+			if instrument {
+				in.FlushEngineStats()
+				sh.Merge()
+			}
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 )
 
@@ -90,6 +91,16 @@ func (in *Instance) Advance(to float64) { in.sim.RunUntil(to) }
 // path. The two are bit-identical by construction; the full-scan mode
 // exists for differential testing and debugging.
 func (in *Instance) SetFullScan(on bool) { in.sim.FullScan = on }
+
+// Instrument attaches the underlying simulator's telemetry (firings,
+// settles, reactivations, dirty-closure sizes, queue depths) to the given
+// observability shard; nil detaches. Call FlushEngineStats once when the
+// trajectory ends, then merge the shard.
+func (in *Instance) Instrument(sh *obs.Shard) { in.sim.Instrument(sh) }
+
+// FlushEngineStats folds the event engine's cumulative counters into the
+// attached shard (see san.Simulator.FlushEngineStats).
+func (in *Instance) FlushEngineStats() { in.sim.FlushEngineStats() }
 
 // Useful returns the net useful work accrued since time zero.
 func (in *Instance) Useful() float64 { return in.useful() }

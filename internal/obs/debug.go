@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the live profiling endpoint behind the CLIs' -debug-addr
+// flag: net/http/pprof under /debug/pprof/, expvar under /debug/vars, and
+// a JSON dump of a metrics registry under /metricz. It serves on its own
+// mux (nothing is registered on http.DefaultServeMux) so importing this
+// package never changes an embedding program's routes.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:6060", or ":0" for an ephemeral
+// port) and serves the debug endpoints in a background goroutine until
+// Close. The registry may be nil, in which case /metricz reports an empty
+// snapshot.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "debug endpoints: /metricz /debug/vars /debug/pprof/")
+	})
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" requests).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.count").Add(3)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metricz"), &snap); err != nil {
+		t.Fatalf("/metricz not JSON: %v", err)
+	}
+	if snap.Counters["test.count"] != 3 {
+		t.Fatalf("/metricz counters = %v", snap.Counters)
+	}
+
+	// The registry is live: a later update is visible on the next scrape.
+	reg.Counter("test.count").Inc()
+	if err := json.Unmarshal(get("/metricz"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["test.count"] != 4 {
+		t.Fatalf("live /metricz counters = %v", snap.Counters)
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatalf("/debug/vars missing memstats: %v", vars)
+	}
+
+	get("/debug/pprof/")
+	get("/")
+
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the port no longer accepts connections.
+	client := http.Client{Timeout: time.Second}
+	if _, err := client.Get(fmt.Sprintf("http://%s/", d.Addr())); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestDebugServerNilRegistry(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metricz", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

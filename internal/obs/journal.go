@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Journal writes a structured JSONL run journal: one JSON object per line,
+// each carrying a "kind" discriminator and a "ts" wall-clock timestamp
+// plus caller-supplied fields. Keys are emitted in sorted order
+// (encoding/json map ordering), so journal content is byte-identical for
+// identical field values — the runner's worker-count determinism test
+// relies on this, stripping only the wall-clock fields ("ts", "wall_ms").
+//
+// Record is safe for concurrent use; concurrent writers interleave at line
+// granularity, never mid-line.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// TimestampFields names the journal keys that carry wall-clock values and
+// are therefore excluded from determinism guarantees.
+var TimestampFields = []string{"ts", "wall_ms"}
+
+// NewJournal returns a journal writing to w. The caller owns w and closes
+// it after the run; check Err before closing.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Record writes one journal line of the given kind. The fields map is not
+// retained. Non-finite float fields are replaced by nil, because JSON
+// cannot represent them. The first write error is sticky: it is returned
+// here and from Err, and later records are dropped.
+func (j *Journal) Record(kind string, fields map[string]any) error {
+	m := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		if f, ok := v.(float64); ok && (math.IsInf(f, 0) || math.IsNaN(f)) {
+			v = nil
+		}
+		m[k] = v
+	}
+	m["kind"] = kind
+	m["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("obs: journal record %q: %w", kind, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.err = fmt.Errorf("obs: journal write: %w", err)
+		return j.err
+	}
+	return nil
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -60,17 +62,17 @@ func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Com
 	var events atomic.Uint64
 	pairs, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
 		func(_ context.Context, r int) (pair, error) {
-			ma, fa, err := runOne(a, seeds[r], opts)
-			events.Add(fa)
+			oa, err := runOne(a, seeds[r], opts)
+			events.Add(oa.fired)
 			if err != nil {
 				return pair{}, err
 			}
-			mb, fb, err := runOne(b, seeds[r], opts)
-			events.Add(fb)
+			ob, err := runOne(b, seeds[r], opts)
+			events.Add(ob.fired)
 			if err != nil {
 				return pair{}, err
 			}
-			return pair{ma, mb}, nil
+			return pair{oa.metrics, ob.metrics}, nil
 		})
 	if err != nil {
 		return Comparison{}, err
@@ -100,13 +102,51 @@ func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Com
 	return comp, nil
 }
 
-// runOne simulates one trajectory, returning its metrics and the number of
-// simulator events fired (for progress reporting).
-func runOne(cfg cluster.Config, seed uint64, opts Options) (model.Metrics, uint64, error) {
+// repOut is everything one trajectory hands back to the reducer: the
+// paper's metrics, the event count, the trajectory's wall time, and — when
+// a journal is attached — the deterministic simulator-telemetry snapshot
+// destined for its "replication" record.
+type repOut struct {
+	metrics model.Metrics
+	fired   uint64
+	wall    time.Duration
+	sim     map[string]any
+}
+
+// runOne simulates one trajectory. When telemetry is requested it attaches
+// a fresh obs.Shard to the instance (one shard per replication, owned by
+// whichever pool worker runs it), flushes the engine counters at the end,
+// snapshots the shard for the journal and merges it into the registry.
+// Journal-only runs (Journal set, Metrics nil) instrument into a throwaway
+// registry so the snapshot exists without polluting anyone's metrics.
+func runOne(cfg cluster.Config, seed uint64, opts Options) (repOut, error) {
+	start := time.Now()
 	in, err := model.New(cfg, seed)
 	if err != nil {
-		return model.Metrics{}, 0, err
+		return repOut{}, err
+	}
+	var sh *obs.Shard
+	if opts.Metrics != nil || opts.Journal != nil {
+		reg := opts.Metrics
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		sh = reg.NewShard()
+		in.Instrument(sh)
 	}
 	m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
-	return m, in.Fired(), err
+	out := repOut{metrics: m, fired: in.Fired(), wall: time.Since(start)}
+	if sh != nil {
+		in.FlushEngineStats()
+		if opts.Journal != nil {
+			out.sim = sh.Snapshot()
+		}
+		sh.Merge()
+	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("runner.replications").Inc()
+		reg.Counter("runner.events").Add(out.fired)
+		reg.Timer("runner.replication_wall_s").Observe(out.wall)
+	}
+	return out, err
 }

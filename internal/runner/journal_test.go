@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// journalLines decodes a JSONL buffer into one map per record, dropping
+// the wall-clock fields named in obs.TimestampFields — the only fields the
+// determinism contract excludes.
+func journalLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("journal line %d not valid JSON: %v\n%s", len(out), err, sc.Text())
+		}
+		stripTimestamps(m)
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func stripTimestamps(m map[string]any) {
+	for _, f := range obs.TimestampFields {
+		delete(m, f)
+	}
+	for _, v := range m {
+		if sub, ok := v.(map[string]any); ok {
+			stripTimestamps(sub)
+		}
+	}
+}
+
+func runJournaled(t *testing.T, workers int) []map[string]any {
+	t.Helper()
+	var buf bytes.Buffer
+	opts := quickOpts()
+	opts.Workers = workers
+	opts.Journal = obs.NewJournal(&buf)
+	opts.Label = "invariance"
+	if _, err := Estimate(cluster.Default(), opts); err != nil {
+		t.Fatalf("Workers=%d: %v", workers, err)
+	}
+	if err := opts.Journal.Err(); err != nil {
+		t.Fatalf("Workers=%d journal error: %v", workers, err)
+	}
+	return journalLines(t, &buf)
+}
+
+// TestJournalWorkerInvariance extends the determinism contract to the run
+// journal: modulo the timestamp fields, records must be identical at every
+// worker count, because they are written after the replication fan-out in
+// replication order from values that are pure functions of the seed.
+func TestJournalWorkerInvariance(t *testing.T) {
+	want := runJournaled(t, 1)
+	for _, workers := range []int{4, -1} {
+		got := runJournaled(t, workers)
+		if len(got) != len(want) {
+			t.Fatalf("Workers=%d wrote %d records, sequential wrote %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			w, _ := json.Marshal(want[i])
+			g, _ := json.Marshal(got[i])
+			if !bytes.Equal(w, g) {
+				t.Fatalf("Workers=%d record %d differs:\n got %s\nwant %s", workers, i, g, w)
+			}
+		}
+	}
+}
+
+// TestJournalContent checks the record shapes: one "replication" record
+// per trajectory carrying seed, events, metrics and the simulator-telemetry
+// snapshot, then one "estimate" record with intervals and the convergence
+// trajectory.
+func TestJournalContent(t *testing.T) {
+	recs := runJournaled(t, 1)
+	n := quickOpts().Replications
+	if len(recs) != n+1 {
+		t.Fatalf("got %d records, want %d", len(recs), n+1)
+	}
+	for r := 0; r < n; r++ {
+		rec := recs[r]
+		if rec["kind"] != "replication" {
+			t.Fatalf("record %d kind = %v", r, rec["kind"])
+		}
+		if rec["rep"] != float64(r) {
+			t.Fatalf("record %d rep = %v", r, rec["rep"])
+		}
+		if rec["label"] != "invariance" {
+			t.Fatalf("record %d label = %v", r, rec["label"])
+		}
+		if rec["events"].(float64) <= 0 {
+			t.Fatalf("record %d events = %v", r, rec["events"])
+		}
+		sim, ok := rec["sim"].(map[string]any)
+		if !ok {
+			t.Fatalf("record %d has no sim snapshot: %v", r, rec)
+		}
+		if sim["san.timed_firings"].(float64) <= 0 {
+			t.Fatalf("record %d sim snapshot empty: %v", r, sim)
+		}
+		if _, ok := rec["ci_half_width"]; !ok {
+			t.Fatalf("record %d missing ci_half_width", r)
+		}
+	}
+	est := recs[n]
+	if est["kind"] != "estimate" {
+		t.Fatalf("last record kind = %v", est["kind"])
+	}
+	if est["replications"] != float64(n) {
+		t.Fatalf("estimate replications = %v", est["replications"])
+	}
+	iv, ok := est["useful_fraction"].(map[string]any)
+	if !ok || iv["mean"] == nil || iv["half_width"] == nil {
+		t.Fatalf("estimate interval malformed: %v", est["useful_fraction"])
+	}
+	conv, ok := est["convergence"].([]any)
+	if !ok || len(conv) != n-1 {
+		t.Fatalf("convergence trajectory = %v, want %d entries", est["convergence"], n-1)
+	}
+}
+
+// TestEstimateMetricsRegistry checks that an attached registry accumulates
+// runner, pool and simulator telemetry consistently.
+func TestEstimateMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	opts := quickOpts()
+	opts.Workers = 2
+	opts.Metrics = reg
+	res, err := Estimate(cluster.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(opts.Replications)
+	if got := reg.Counter("runner.replications").Value(); got != n {
+		t.Fatalf("runner.replications = %d, want %d", got, n)
+	}
+	if got := reg.Counter("exec.jobs_done").Value(); got != n {
+		t.Fatalf("exec.jobs_done = %d, want %d", got, n)
+	}
+	if got := reg.Counter("runner.estimates").Value(); got != 1 {
+		t.Fatalf("runner.estimates = %d, want 1", got)
+	}
+	if len(res.PerReplication) != opts.Replications {
+		t.Fatalf("replications = %d", len(res.PerReplication))
+	}
+	fired := reg.Counter("runner.events").Value()
+	if fired == 0 {
+		t.Fatal("runner.events = 0")
+	}
+	if got := reg.Counter("des.events_fired").Value(); got != fired {
+		t.Fatalf("des.events_fired = %d, want %d (runner.events)", got, fired)
+	}
+	if reg.Counter("san.settles").Value() == 0 {
+		t.Fatal("san.settles = 0; simulator telemetry not merged")
+	}
+	if hw := reg.FloatGauge("runner.ci_half_width").Value(); hw <= 0 {
+		t.Fatalf("runner.ci_half_width = %v", hw)
+	}
+	// The whole registry must survive a JSON round-trip (finite floats).
+	if _, err := json.Marshal(reg.Snapshot()); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}

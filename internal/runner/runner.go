@@ -8,12 +8,14 @@ package runner
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -44,6 +46,22 @@ type Options struct {
 	// replication state change. Calls are serialized by the pool; the
 	// callback must be fast.
 	Progress func(Progress)
+	// Metrics, when non-nil, receives live telemetry: the exec pool's job
+	// counters, per-replication runner.* metrics, and the simulator's
+	// san.*/des.* counters and histograms (recorded through per-worker
+	// shards, merged once per replication, so the hot loop stays
+	// contention-free). The registry may be shared across estimates and
+	// watched live by an obs.DebugServer.
+	Metrics *obs.Registry
+	// Journal, when non-nil, receives one structured "replication" record
+	// per trajectory plus a closing "estimate" record. Records are written
+	// after all replications complete, in replication order, so the
+	// journal content is byte-identical for every Workers value apart from
+	// the fields named in obs.TimestampFields.
+	Journal *obs.Journal
+	// Label, when non-empty, tags every journal record of this estimate —
+	// sweeps and experiment grids use it to identify the cell.
+	Label string
 }
 
 // Progress is a snapshot of an in-flight estimation.
@@ -56,6 +74,9 @@ type Progress struct {
 	Events uint64
 	// Elapsed is the wall time since the estimation started.
 	Elapsed time.Duration
+	// Final marks the last snapshot of the estimation, delivered exactly
+	// once whether the run finished or ended early (see exec.Progress).
+	Final bool
 }
 
 // withDefaults fills unset fields.
@@ -125,17 +146,115 @@ func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Res
 	// pure function of opts.Seed — the core of the worker-count
 	// determinism guarantee.
 	seeds := replicationSeeds(opts.Seed, opts.Replications)
+	start := time.Now()
 	var events atomic.Uint64
-	metrics, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
-		func(_ context.Context, r int) (model.Metrics, error) {
-			m, fired, err := runOne(cfg, seeds[r], opts)
-			events.Add(fired)
-			return m, err
+	outs, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
+		func(_ context.Context, r int) (repOut, error) {
+			o, err := runOne(cfg, seeds[r], opts)
+			events.Add(o.fired)
+			return o, err
 		})
 	if err != nil {
 		return Result{}, err
 	}
-	return reduce(metrics, opts), nil
+	metrics := make([]model.Metrics, len(outs))
+	for i, o := range outs {
+		metrics[i] = o.metrics
+	}
+	res := reduce(metrics, opts)
+	recordEstimate(opts, outs, res, time.Since(start))
+	if opts.Journal != nil {
+		if err := writeJournal(opts, seeds, outs, res); err != nil {
+			return Result{}, fmt.Errorf("runner: journal: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// recordEstimate publishes estimate-level telemetry.
+func recordEstimate(opts Options, outs []repOut, res Result, elapsed time.Duration) {
+	reg := opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("runner.estimates").Inc()
+	var events uint64
+	for _, o := range outs {
+		events += o.fired
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		reg.FloatGauge("runner.events_per_sec").Set(float64(events) / s)
+	}
+	// With a single replication the half-width is undefined (Inf); the
+	// gauge carries only finite values so snapshots stay marshalable.
+	if hw := res.UsefulWorkFraction.HalfWide; !math.IsInf(hw, 0) && !math.IsNaN(hw) {
+		reg.FloatGauge("runner.ci_half_width").Set(hw)
+	}
+}
+
+// writeJournal emits one "replication" record per trajectory plus the
+// closing "estimate" record, strictly in replication order. Every field is
+// a pure function of (cfg, opts, seeds) except wall_ms and the timestamp,
+// which is what makes journals comparable across worker counts.
+func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error {
+	j := opts.Journal
+	var acc stats.Accumulator
+	var events uint64
+	for r, o := range outs {
+		acc.Add(o.metrics.UsefulWorkFraction)
+		events += o.fired
+		fields := map[string]any{
+			"rep":             r,
+			"seed":            seeds[r],
+			"events":          o.fired,
+			"useful_fraction": o.metrics.UsefulWorkFraction,
+			"total_useful":    o.metrics.TotalUsefulWork,
+			"counters":        o.metrics.Counters,
+			"wall_ms":         float64(o.wall) / float64(time.Millisecond),
+		}
+		if o.sim != nil {
+			fields["sim"] = o.sim
+		}
+		// The prefix CI half-width after this replication — the raw
+		// convergence trajectory, one point per record.
+		fields["ci_half_width"] = acc.Convergence(opts.Confidence).HalfWidth
+		if opts.Label != "" {
+			fields["label"] = opts.Label
+		}
+		if err := j.Record("replication", fields); err != nil {
+			return err
+		}
+	}
+	fracs := make([]float64, len(outs))
+	for i, o := range outs {
+		fracs[i] = o.metrics.UsefulWorkFraction
+	}
+	fields := map[string]any{
+		"replications":    len(outs),
+		"events":          events,
+		"useful_fraction": ivMap(res.UsefulWorkFraction),
+		"total_useful":    ivMap(res.TotalUsefulWork),
+		"convergence":     stats.ConvergenceTrajectory(fracs, opts.Confidence),
+	}
+	if opts.Label != "" {
+		fields["label"] = opts.Label
+	}
+	return j.Record("estimate", fields)
+}
+
+// ivMap flattens an interval for the journal, nulling a non-finite
+// half-width (n < 2) the same way obs.Journal treats top-level floats.
+func ivMap(iv stats.Interval) map[string]any {
+	var hw any = iv.HalfWide
+	if math.IsInf(iv.HalfWide, 0) || math.IsNaN(iv.HalfWide) {
+		hw = nil
+	}
+	return map[string]any{
+		"mean":       iv.Mean,
+		"half_width": hw,
+		"level":      iv.Level,
+		"n":          iv.N,
+	}
 }
 
 // replicationSeeds derives one independent sub-stream seed per replication
@@ -152,11 +271,11 @@ func replicationSeeds(seed uint64, n int) []uint64 {
 // pool builds the exec pool for opts, bridging pool snapshots to the
 // caller's Progress hook with the events counter mixed in.
 func pool(opts Options, events *atomic.Uint64) exec.Pool {
-	p := exec.Pool{Workers: exec.WorkerCount(opts.Workers)}
+	p := exec.Pool{Workers: exec.WorkerCount(opts.Workers), Metrics: opts.Metrics}
 	if opts.Progress != nil {
 		hook := opts.Progress
 		p.OnProgress = func(ep exec.Progress) {
-			hook(Progress{Done: ep.Done, Total: ep.Total, Events: events.Load(), Elapsed: ep.Elapsed})
+			hook(Progress{Done: ep.Done, Total: ep.Total, Events: events.Load(), Elapsed: ep.Elapsed, Final: ep.Final})
 		}
 	}
 	return p

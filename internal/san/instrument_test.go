@@ -1,0 +1,172 @@
+package san
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// tickTockModel builds a two-place net: a timed "tick" moves the token
+// from a to b, an instantaneous "tock" moves it straight back, and a
+// second timed activity reactivates whenever b changes. Every telemetry
+// counter of the simulator is exercised by a few firings.
+func tickTockModel() (*Model, *Place, *Place) {
+	m := NewModel("ticktock")
+	a := m.Place("a", 1)
+	b := m.Place("b", 0)
+	m.AddTimed(Activity{
+		Name:  "tick",
+		Input: AllOf(a),
+		Delay: fixed(1),
+		Output: Out(func(mk *Marking) {
+			mk.Move(a, b)
+		}, a, b),
+	})
+	m.AddInstant(Activity{
+		Name:  "tock",
+		Input: AllOf(b),
+		Output: Out(func(mk *Marking) {
+			mk.Move(b, a)
+		}, a, b),
+	})
+	m.AddTimed(Activity{
+		Name:         "watcher",
+		Input:        AllOf(a),
+		Delay:        fixed(100),
+		Output:       Out(func(*Marking) {}),
+		ReactivateOn: []*Place{b},
+	})
+	return m, a, b
+}
+
+func TestInstrumentCountsFiringsAndSettles(t *testing.T) {
+	m, _, _ := tickTockModel()
+	s, err := NewSimulator(m, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sh := reg.NewShard()
+	s.Instrument(sh)
+	s.RunUntil(10.5)
+	s.FlushEngineStats()
+	snap := sh.Snapshot()
+	sh.Merge()
+
+	// 10 ticks fired (t=1..10), each followed immediately by a tock.
+	if got := reg.Counter("san.timed_firings").Value(); got != 10 {
+		t.Fatalf("timed firings = %d, want 10", got)
+	}
+	if got := reg.Counter("san.instant_firings").Value(); got != 10 {
+		t.Fatalf("instant firings = %d, want 10", got)
+	}
+	// One settle per timed firing plus the initial settle in Reset — but
+	// Reset ran before Instrument, so only the 10 post-firing settles count.
+	if got := reg.Counter("san.settles").Value(); got != 10 {
+		t.Fatalf("settles = %d, want 10", got)
+	}
+	// The watcher's ReactivateOn(b) resamples at every tick and tock.
+	if got := reg.Counter("san.reactivations").Value(); got == 0 {
+		t.Fatal("no reactivations recorded")
+	}
+	// Engine counters arrive via FlushEngineStats.
+	if got := reg.Counter("des.events_fired").Value(); got != 10 {
+		t.Fatalf("engine events fired = %d, want 10", got)
+	}
+	if got := reg.Counter("des.events_scheduled").Value(); got == 0 {
+		t.Fatal("no engine schedules recorded")
+	}
+	if got := reg.Counter("des.events_cancelled").Value(); got == 0 {
+		t.Fatal("no engine cancellations recorded (watcher reactivation cancels)")
+	}
+	// The closure and queue-depth histograms are sampled (1 in
+	// statsSampleMask+1 settles), so counts are smaller than the settle
+	// count but never zero; the full-scan histogram must stay empty in
+	// incremental mode.
+	h := reg.Histogram("san.dirty_closure", closureBuckets)
+	if h.Count() == 0 {
+		t.Fatal("dirty-closure histogram empty")
+	}
+	if got := reg.Histogram("san.fullscan_closure", closureBuckets).Count(); got != 0 {
+		t.Fatalf("full-scan histogram populated (%d) in incremental mode", got)
+	}
+	if reg.Histogram("des.queue_depth", closureBuckets).Count() == 0 {
+		t.Fatal("queue-depth histogram empty")
+	}
+	// The pre-merge shard snapshot carries the same values.
+	if snap["san.timed_firings"].(uint64) != 10 {
+		t.Fatalf("shard snapshot = %v", snap)
+	}
+}
+
+func TestInstrumentFullScanPopulatesFullHistogram(t *testing.T) {
+	m, _, _ := tickTockModel()
+	s, err := NewSimulator(m, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FullScan = true
+	reg := obs.NewRegistry()
+	sh := reg.NewShard()
+	s.Instrument(sh)
+	s.RunUntil(5.5)
+	sh.Merge()
+	full := reg.Histogram("san.fullscan_closure", closureBuckets).Snapshot()
+	if full.Count == 0 {
+		t.Fatal("full-scan histogram empty in full-scan mode")
+	}
+	// Every full-scan reconcile touches all timed activities (2 here).
+	if full.Min != 2 || full.Max != 2 {
+		t.Fatalf("full-scan closure min/max = %v/%v, want 2/2", full.Min, full.Max)
+	}
+	if got := reg.Histogram("san.dirty_closure", closureBuckets).Count(); got != 0 {
+		t.Fatalf("incremental histogram populated (%d) in full-scan mode", got)
+	}
+}
+
+// TestInstrumentedTrajectoryIdentical guards the zero-interference
+// property: attaching telemetry must not change the trajectory.
+func TestInstrumentedTrajectoryIdentical(t *testing.T) {
+	run := func(instrument bool) []float64 {
+		m, _, _ := tickTockModel()
+		s, err := NewSimulator(m, rng.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if instrument {
+			s.Instrument(obs.NewRegistry().NewShard())
+		}
+		var times []float64
+		s.SetTrace(func(tm float64, _ *Activity, _ *Marking) { times = append(times, tm) })
+		s.RunUntil(50)
+		return times
+	}
+	bare, inst := run(false), run(true)
+	if len(bare) != len(inst) {
+		t.Fatalf("firing counts differ: %d vs %d", len(bare), len(inst))
+	}
+	for i := range bare {
+		if bare[i] != inst[i] {
+			t.Fatalf("firing %d at %v vs %v", i, bare[i], inst[i])
+		}
+	}
+}
+
+func TestInstrumentNilDetaches(t *testing.T) {
+	m, _, _ := tickTockModel()
+	s, err := NewSimulator(m, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sh := reg.NewShard()
+	s.Instrument(sh)
+	s.Instrument(nil)
+	s.RunUntil(10)
+	s.FlushEngineStats() // no-op when detached
+	sh.Merge()
+	if got := reg.Counter("san.timed_firings").Value(); got != 0 {
+		t.Fatalf("detached simulator still recorded %d firings", got)
+	}
+}

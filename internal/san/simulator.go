@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -165,6 +166,7 @@ type Simulator struct {
 
 	trace      TraceFunc
 	invariants []Invariant
+	stats      *simStats // nil when uninstrumented (the default)
 
 	// FullScan disables incremental reconciliation: every settle rescans
 	// all activities and every firing re-evaluates all rate rewards, as
@@ -177,6 +179,75 @@ type Simulator struct {
 	// MaxInstantChain guards against livelock among instantaneous
 	// activities; exceeded chains panic. Default 10000.
 	MaxInstantChain int
+}
+
+// simStats holds the simulator's shard-local observability handles. The
+// hot loop pays one nil check per instrumented site when detached and a
+// plain integer increment when attached; every handle lives on an
+// obs.Shard, so parallel replications never share a cache line.
+type simStats struct {
+	settles       *obs.LocalCounter   // settle passes (one per firing chain)
+	timedFirings  *obs.LocalCounter   // timed activity firings
+	instFirings   *obs.LocalCounter   // instantaneous activity firings
+	reactivations *obs.LocalCounter   // in-place delay resamples (ReactivateOn)
+	closureInc    *obs.LocalHistogram // dirty-closure sizes (incremental mode)
+	closureFull   *obs.LocalHistogram // reconcile set sizes (full-scan mode)
+	queueDepth    *obs.LocalHistogram // pending events, sampled per settle
+	engFired      *obs.LocalCounter   // filled from the engine by FlushEngineStats
+	engScheduled  *obs.LocalCounter
+	engCancelled  *obs.LocalCounter
+	sampleTick    uint64 // settles seen; drives the histogram sampling below
+}
+
+// statsSampleMask thins the per-settle histogram observations (queue depth,
+// closure sizes) to 1 in 16: histogram updates cost several times a plain
+// counter increment, and the sampled distribution is statistically
+// indistinguishable over the millions of settles of a real trajectory.
+// Counters are never sampled. The tick is derived from the settle count, a
+// pure function of the trajectory, so sampled telemetry — and the run
+// journal built from it — stays deterministic.
+const statsSampleMask = 15
+
+// closureBuckets covers reconcile-set sizes from single-activity settles
+// up to nets far larger than the paper model's 23 activities.
+var closureBuckets = obs.ExpBuckets(1, 2, 9) // 1..256
+
+// Instrument attaches the simulator's telemetry to sh (nil detaches):
+// firing/settle/reactivation counters, dirty-closure and queue-depth
+// histograms, and — via FlushEngineStats — the event engine's counters.
+// Call after NewSimulator (or Reset) and FlushEngineStats once when the
+// trajectory ends; then merge the shard into its registry.
+func (s *Simulator) Instrument(sh *obs.Shard) {
+	if sh == nil {
+		s.stats = nil
+		return
+	}
+	s.stats = &simStats{
+		settles:       sh.Counter("san.settles"),
+		timedFirings:  sh.Counter("san.timed_firings"),
+		instFirings:   sh.Counter("san.instant_firings"),
+		reactivations: sh.Counter("san.reactivations"),
+		closureInc:    sh.Histogram("san.dirty_closure", closureBuckets),
+		closureFull:   sh.Histogram("san.fullscan_closure", closureBuckets),
+		queueDepth:    sh.Histogram("des.queue_depth", closureBuckets),
+		engFired:      sh.Counter("des.events_fired"),
+		engScheduled:  sh.Counter("des.events_scheduled"),
+		engCancelled:  sh.Counter("des.events_cancelled"),
+	}
+}
+
+// FlushEngineStats folds the event engine's counters into the attached
+// shard. Call exactly once, after the trajectory's last RunUntil — the
+// engine counts are cumulative, so flushing twice without a Reset in
+// between would double-count.
+func (s *Simulator) FlushEngineStats() {
+	st := s.stats
+	if st == nil {
+		return
+	}
+	st.engFired.Add(s.eng.Fired())
+	st.engScheduled.Add(s.eng.Scheduled())
+	st.engCancelled.Add(s.eng.Cancelled())
 }
 
 // NewSimulator validates the model (building its dependency index) and
@@ -345,6 +416,13 @@ func (s *Simulator) settle() {
 	s.firedAct = -1
 	s.instCursor = 0
 	s.marking.clearDirty()
+	if st := s.stats; st != nil {
+		st.settles.Inc()
+		if st.sampleTick&statsSampleMask == 0 {
+			st.queueDepth.Observe(float64(s.eng.Pending()))
+		}
+		st.sampleTick++
+	}
 }
 
 // nextInstantFull scans every instantaneous activity, refreshing the
@@ -412,6 +490,9 @@ func (s *Simulator) nextInstantCached() *Activity {
 // newly-enabled ones, and resamples activities whose reactivation places
 // changed — scanning every timed activity (the historic scheduler).
 func (s *Simulator) reconcileTimedFull() {
+	if st := s.stats; st != nil && st.sampleTick&statsSampleMask == 0 {
+		st.closureFull.Observe(float64(len(s.model.deps.timed)))
+	}
 	for _, ai := range s.model.deps.timed {
 		s.reconcileOne(s.model.activities[ai])
 	}
@@ -454,6 +535,9 @@ func (s *Simulator) reconcileTimedDirty() {
 		}
 	}
 	slices.Sort(s.affected)
+	if st := s.stats; st != nil && st.sampleTick&statsSampleMask == 0 {
+		st.closureInc.Observe(float64(len(s.affected)))
+	}
 	for _, ai := range s.affected {
 		s.reconcileOne(s.model.activities[ai])
 	}
@@ -474,6 +558,9 @@ func (s *Simulator) reconcileOne(a *Activity) {
 	case on && was && s.touched(a):
 		s.eng.Cancel(s.scheduled[a.index])
 		s.schedule(a)
+		if st := s.stats; st != nil {
+			st.reactivations.Inc()
+		}
 	}
 }
 
@@ -501,6 +588,13 @@ func (s *Simulator) schedule(a *Activity) {
 // fire applies a's effect, accrues rewards and notifies the trace.
 func (s *Simulator) fire(a *Activity) {
 	now := s.eng.Now()
+	if st := s.stats; st != nil {
+		if a.Kind == Timed {
+			st.timedFirings.Inc()
+		} else {
+			st.instFirings.Inc()
+		}
+	}
 	s.accrueRates(now)
 	preLog := len(s.marking.log)
 	a.Output.Apply(s.marking)

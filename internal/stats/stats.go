@@ -119,6 +119,53 @@ func (a *Accumulator) CI(level float64) Interval {
 	return iv
 }
 
+// Convergence is a point-in-time view of an accumulating estimate — the
+// snapshot the observability layer journals after each replication to
+// expose how the confidence interval tightens as evidence accumulates.
+type Convergence struct {
+	// N is the number of observations folded in so far.
+	N int `json:"n"`
+	// Mean is the running sample mean.
+	Mean float64 `json:"mean"`
+	// HalfWidth is the CI half-width at the snapshot's level.
+	HalfWidth float64 `json:"half_width"`
+	// RelWidth is HalfWidth / |Mean| (0 when not finite, so snapshots are
+	// always JSON-marshalable).
+	RelWidth float64 `json:"rel_width"`
+}
+
+// Convergence returns the accumulator's current convergence snapshot at
+// the given confidence level. With fewer than two observations the
+// half-width is undefined; it is reported as 0 with N carrying the truth.
+func (a *Accumulator) Convergence(level float64) Convergence {
+	c := Convergence{N: a.n, Mean: a.mean}
+	if a.n < 2 {
+		return c
+	}
+	iv := a.CI(level)
+	c.HalfWidth = iv.HalfWide
+	if rw := iv.RelativeWidth(); !math.IsInf(rw, 0) && !math.IsNaN(rw) {
+		c.RelWidth = rw
+	}
+	return c
+}
+
+// ConvergenceTrajectory folds the values in order and returns one
+// convergence snapshot per prefix with at least two observations — the
+// CI-half-width trajectory of a replication sequence. The fold order is
+// the caller's value order, so the trajectory is scheduling-independent.
+func ConvergenceTrajectory(values []float64, level float64) []Convergence {
+	var acc Accumulator
+	var out []Convergence
+	for _, v := range values {
+		acc.Add(v)
+		if acc.N() >= 2 {
+			out = append(out, acc.Convergence(level))
+		}
+	}
+	return out
+}
+
 // TQuantile returns the p-quantile of the Student-t distribution with df
 // degrees of freedom (p in (0,1)). It inverts the regularised incomplete
 // beta function by bisection on the CDF, which is plenty fast for the

@@ -284,3 +284,65 @@ func TestHistogramEmptyFraction(t *testing.T) {
 		t.Fatal("empty histogram fraction should be 0")
 	}
 }
+
+func TestConvergenceSnapshot(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	c := a.Convergence(0.95)
+	if c.N != 1 || c.Mean != 1 || c.HalfWidth != 0 || c.RelWidth != 0 {
+		t.Fatalf("n=1 snapshot = %+v", c)
+	}
+	a.Add(3)
+	c = a.Convergence(0.95)
+	if c.N != 2 || c.Mean != 2 {
+		t.Fatalf("n=2 snapshot = %+v", c)
+	}
+	iv := a.CI(0.95)
+	if c.HalfWidth != iv.HalfWide {
+		t.Fatalf("half-width %v != CI %v", c.HalfWidth, iv.HalfWide)
+	}
+	if c.RelWidth != iv.HalfWide/2 {
+		t.Fatalf("rel width = %v", c.RelWidth)
+	}
+}
+
+func TestConvergenceZeroMeanIsFinite(t *testing.T) {
+	var a Accumulator
+	a.Add(-1)
+	a.Add(1)
+	c := a.Convergence(0.95)
+	if c.RelWidth != 0 {
+		t.Fatalf("zero-mean rel width = %v, want 0", c.RelWidth)
+	}
+	if math.IsInf(c.HalfWidth, 0) || math.IsNaN(c.HalfWidth) {
+		t.Fatalf("half-width not finite: %v", c.HalfWidth)
+	}
+}
+
+func TestConvergenceTrajectory(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	traj := ConvergenceTrajectory(vals, 0.95)
+	if len(traj) != 4 {
+		t.Fatalf("trajectory length = %d, want 4 (prefixes n>=2)", len(traj))
+	}
+	for i, c := range traj {
+		if c.N != i+2 {
+			t.Fatalf("entry %d has n=%d", i, c.N)
+		}
+	}
+	// Half-widths shrink as evidence accumulates on this smooth sequence.
+	if traj[len(traj)-1].HalfWidth >= traj[0].HalfWidth {
+		t.Fatalf("half-width did not shrink: %v -> %v", traj[0].HalfWidth, traj[len(traj)-1].HalfWidth)
+	}
+	// The final entry must match folding everything into one accumulator.
+	var a Accumulator
+	for _, v := range vals {
+		a.Add(v)
+	}
+	if want := a.Convergence(0.95); traj[len(traj)-1] != want {
+		t.Fatalf("final entry %+v != accumulator %+v", traj[len(traj)-1], want)
+	}
+	if got := ConvergenceTrajectory([]float64{7}, 0.95); got != nil {
+		t.Fatalf("single-value trajectory = %v, want nil", got)
+	}
+}

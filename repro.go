@@ -29,6 +29,7 @@ import (
 	"repro/internal/cyclesim"
 	"repro/internal/experiments"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/protocol"
 	"repro/internal/runner"
@@ -107,6 +108,36 @@ type TimeBreakdown = model.Breakdown
 
 // Comparison is a paired A/B estimate produced by CompareConfigs.
 type Comparison = runner.Comparison
+
+// MetricsRegistry is the observability registry: attach one via
+// Options.Metrics to collect live counters, gauges, histograms and timers
+// from the simulator, the worker pool and the runner. A single registry
+// may be shared across estimates; see internal/obs for the metric catalog.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RunJournal is a structured JSONL run journal: attach one via
+// Options.Journal to receive a "replication" record per trajectory and a
+// closing "estimate" record. Journal content is byte-identical across
+// worker counts apart from the wall-clock fields listed in
+// JournalTimestampFields.
+type RunJournal = obs.Journal
+
+// NewRunJournal returns a journal writing JSONL records to w.
+func NewRunJournal(w io.Writer) *RunJournal { return obs.NewJournal(w) }
+
+// JournalTimestampFields names the journal fields that carry wall-clock
+// values and are therefore excluded from the determinism contract.
+var JournalTimestampFields = obs.TimestampFields
+
+// ServeDebug starts an HTTP debug endpoint on addr exposing net/http/pprof
+// under /debug/pprof/, expvar under /debug/vars and a JSON snapshot of reg
+// under /metricz. Close the returned server when done.
+func ServeDebug(addr string, reg *MetricsRegistry) (*obs.DebugServer, error) {
+	return obs.ServeDebug(addr, reg)
+}
 
 // Simulate estimates the useful-work metrics of cfg by independent
 // replications of the SAN model.
