@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench cover figures figures-paper report examples clean
+.PHONY: all build test vet race bench cover ci figures figures-paper report examples clean
 
 all: build vet test
 
@@ -37,6 +37,10 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 	@echo "per-function detail: $(GO) tool cover -func=coverage.out"
 	@echo "HTML report:         $(GO) tool cover -html=coverage.out"
+
+# Everything the GitHub Actions workflow runs (.github/workflows/ci.yml),
+# locally: the tier-1 suite, the race tier, and the coverage profile.
+ci: all race cover
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

@@ -48,6 +48,7 @@ func run(args []string) error {
 		verbose      = fs.Bool("v", false, "print per-replication metrics")
 		journalPath  = fs.String("journal", "", "write a JSONL run journal (one record per replication plus the estimate) to this file")
 		metrics      = fs.Bool("metrics", false, "print the collected telemetry table after the results")
+		verifySpans  = fs.Bool("verify-spans", false, "cross-check the reward-based estimate against phase-span accounting and print the verdict")
 		debugAddr    = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the run (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,7 +120,7 @@ func run(args []string) error {
 
 	opts := repro.Options{
 		Replications: *reps, Warmup: *warmup, Measure: *measure, Seed: *seed,
-		Workers: *workers,
+		Workers: *workers, VerifySpans: *verifySpans,
 	}
 	if *progress {
 		// The hook is serialized by the worker pool, so plain writes are
@@ -170,6 +171,14 @@ func run(args []string) error {
 	fmt.Printf("useful work fraction  %v\n", res.UsefulWorkFraction)
 	fmt.Printf("total useful work     %v\n", res.TotalUsefulWork)
 	printBreakdown(res)
+	if sc := res.SpanCheck; sc != nil {
+		verdict := "OK"
+		if !sc.Within {
+			verdict = "MISMATCH"
+		}
+		fmt.Printf("span check            %s  reward %.6f vs spans %.6f (max |Δ| %.3g, tolerance ±%.3g)\n",
+			verdict, sc.RewardMean, sc.SpanMean, sc.MaxDelta, sc.Tolerance)
+	}
 	if *verbose {
 		for i, m := range res.PerReplication {
 			fmt.Printf("  rep %d: %v\n", i, m)

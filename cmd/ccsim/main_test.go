@@ -47,6 +47,16 @@ func TestRunParallelWithProgress(t *testing.T) {
 	}
 }
 
+func TestRunVerifySpans(t *testing.T) {
+	err := run([]string{
+		"-reps", "2", "-warmup", "20", "-measure", "100", "-procs", "8192",
+		"-verify-spans",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadMode(t *testing.T) {
 	err := run([]string{"-coordination", "psychic"})
 	if err == nil || !strings.Contains(err.Error(), "coordination") {

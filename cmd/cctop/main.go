@@ -1,0 +1,197 @@
+// Command cctop is a live terminal dashboard for an in-flight run: it polls
+// the /metricz endpoint that ccsim/ccsweep expose behind -debug-addr and
+// renders replication progress, throughput, confidence-interval convergence
+// (as a sparkline), the phase time budget, and replication wall-time
+// quantiles.
+//
+//	ccsim -procs 131072 -reps 64 -debug-addr localhost:6060 &
+//	cctop -addr localhost:6060
+//
+// By default each frame clears the screen; -plain appends frames instead
+// (for logs or pipes), and -n bounds the number of polls.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/asciichart"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cctop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cctop", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:6060", "debug endpoint address (host:port of a -debug-addr run)")
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		polls    = fs.Int("n", 0, "stop after this many polls (0 = poll until interrupted)")
+		plain    = fs.Bool("plain", false, "append frames instead of clearing the screen (for logs/pipes)")
+		width    = fs.Int("width", 48, "sparkline and bar width in characters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+	if *width < 8 {
+		return fmt.Errorf("-width must be at least 8")
+	}
+
+	url := fmt.Sprintf("http://%s/metricz", *addr)
+	client := &http.Client{Timeout: 5 * time.Second}
+	var hist history
+	for i := 0; *polls == 0 || i < *polls; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		snap, err := fetch(client, url)
+		if err != nil {
+			return err
+		}
+		hist.push(snap)
+		if !*plain {
+			fmt.Fprint(stdout, "\033[H\033[2J")
+		}
+		fmt.Fprint(stdout, render(snap, &hist, *addr, *width))
+	}
+	return nil
+}
+
+// fetch pulls one registry snapshot from the /metricz endpoint.
+func fetch(client *http.Client, url string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, fmt.Errorf("polling %s: %w (is the run started with -debug-addr?)", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("polling %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("polling %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// history accumulates the polled values the sparklines trend over.
+type history struct {
+	ciHalf []float64 // runner.ci_half_width per poll
+	eps    []float64 // runner.events_per_sec per poll
+}
+
+func (h *history) push(s obs.Snapshot) {
+	h.ciHalf = append(h.ciHalf, s.FloatGauges["runner.ci_half_width"])
+	h.eps = append(h.eps, s.FloatGauges["runner.events_per_sec"])
+}
+
+// render draws one dashboard frame from a snapshot plus the poll history.
+// It is a pure function of its inputs, so tests can pin the layout without
+// a live HTTP endpoint.
+func render(s obs.Snapshot, hist *history, addr string, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cctop — %s\n\n", addr)
+
+	reps := s.Counters["runner.replications"]
+	events := s.Counters["runner.events"]
+	fmt.Fprintf(&sb, "replications  %d done", reps)
+	if running, ok := s.Gauges["exec.jobs_running"]; ok {
+		fmt.Fprintf(&sb, ", %d running", running)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "events        %s", groupDigits(events))
+	if eps := s.FloatGauges["runner.events_per_sec"]; eps > 0 {
+		fmt.Fprintf(&sb, "  (%s/s)", groupDigits(uint64(eps)))
+	}
+	sb.WriteByte('\n')
+
+	if len(hist.ciHalf) > 0 {
+		cur := hist.ciHalf[len(hist.ciHalf)-1]
+		fmt.Fprintf(&sb, "CI half-width %.3g  %s\n", cur, asciichart.Sparkline(hist.ciHalf, width))
+	}
+	if len(hist.eps) > 0 {
+		fmt.Fprintf(&sb, "events/sec    %s\n", asciichart.Sparkline(hist.eps, width))
+	}
+
+	if bars := phaseBars(s, width); bars != "" {
+		sb.WriteString("\nphase budget (simulated hours across finished replications)\n")
+		sb.WriteString(bars)
+	}
+
+	if wall, ok := s.Timers["runner.replication_wall_s"]; ok && wall.Count > 0 {
+		fmt.Fprintf(&sb, "\nreplication wall time  p50 %.2fs  p90 %.2fs  p99 %.2fs  (n=%d)\n",
+			wall.P50, wall.P90, wall.P99, wall.Count)
+	}
+	return sb.String()
+}
+
+// phaseBars renders the phase.hours.* histograms as a horizontal bar chart
+// of each phase's share of total simulated time. Empty when the run was not
+// started with span verification (no phase.* metrics).
+func phaseBars(s obs.Snapshot, width int) string {
+	type row struct {
+		name  string
+		hours float64
+	}
+	var rows []row
+	total := 0.0
+	for name, h := range s.Histograms {
+		if phase, ok := strings.CutPrefix(name, "phase.hours."); ok {
+			rows = append(rows, row{phase, h.Sum})
+			total += h.Sum
+		}
+	}
+	if len(rows) == 0 || total <= 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].hours > rows[j].hours })
+	var sb strings.Builder
+	for _, r := range rows {
+		frac := r.hours / total
+		filled := int(frac*float64(width) + 0.5)
+		if filled == 0 && r.hours > 0 {
+			filled = 1 // non-zero phases always show at least a sliver
+		}
+		bar := strings.Repeat("█", filled) + strings.Repeat("·", width-filled)
+		fmt.Fprintf(&sb, "  %-12s %s %6.2f%%  %.1fh\n", r.name, bar, 100*frac, r.hours)
+	}
+	if rb := s.Counters["phase.rollbacks"]; rb > 0 {
+		fmt.Fprintf(&sb, "  rollbacks    %d\n", rb)
+	}
+	return sb.String()
+}
+
+// groupDigits formats n with thousands separators (1234567 → "1,234,567").
+func groupDigits(n uint64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var sb strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		sb.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(s[i : i+3])
+	}
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// liveRegistry builds a registry shaped like a real verify-spans run.
+func liveRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("runner.replications").Add(8)
+	reg.Counter("runner.events").Add(1234567)
+	reg.Counter("phase.rollbacks").Add(3)
+	reg.FloatGauge("runner.ci_half_width").Set(0.0021)
+	reg.FloatGauge("runner.events_per_sec").Set(250000)
+	reg.Gauge("exec.jobs_running").Set(2)
+	for phase, hours := range map[string]float64{
+		"computation": 720, "dump": 12, "quiesce": 1.5, "recovery": 9,
+	} {
+		reg.Histogram("phase.hours."+phase, obs.ExpBuckets(0.25, 2, 16)).Observe(hours)
+	}
+	reg.Timer("runner.replication_wall_s").Observe(1500 * time.Millisecond)
+	return reg
+}
+
+func TestRenderFrame(t *testing.T) {
+	snap := liveRegistry().Snapshot()
+	var hist history
+	hist.push(snap)
+	hist.push(snap)
+	out := render(snap, &hist, "localhost:6060", 32)
+	for _, want := range []string{
+		"cctop — localhost:6060",
+		"8 done", "2 running",
+		"1,234,567",
+		"CI half-width 0.0021",
+		"▁", // sparkline present
+		"phase budget",
+		"computation", "dump",
+		"█", "%", // bars with percentages
+		"rollbacks    3",
+		"replication wall time",
+		"p50", "p99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// The dominant phase must get the widest bar.
+	compLine, dumpLine := "", ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "computation") {
+			compLine = line
+		}
+		if strings.Contains(line, "dump") && !strings.Contains(line, "budget") {
+			dumpLine = line
+		}
+	}
+	if strings.Count(compLine, "█") <= strings.Count(dumpLine, "█") {
+		t.Fatalf("computation bar not dominant:\n%s", out)
+	}
+}
+
+func TestRenderWithoutPhaseMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("runner.replications").Add(1)
+	snap := reg.Snapshot()
+	var hist history
+	hist.push(snap)
+	out := render(snap, &hist, "x", 32)
+	if strings.Contains(out, "phase budget") {
+		t.Fatalf("phase section rendered with no phase metrics:\n%s", out)
+	}
+	if !strings.Contains(out, "1 done") {
+		t.Fatalf("replication count missing:\n%s", out)
+	}
+}
+
+func TestRunAgainstLiveEndpoint(t *testing.T) {
+	srv, err := obs.ServeDebug("127.0.0.1:0", liveRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var buf bytes.Buffer
+	err = run([]string{"-addr", srv.Addr(), "-n", "2", "-interval", "10ms", "-plain"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "cctop — ") != 2 {
+		t.Fatalf("want 2 plain frames:\n%s", out)
+	}
+	if !strings.Contains(out, "phase budget") || !strings.Contains(out, "p90") {
+		t.Fatalf("live frame incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "\033[") {
+		t.Fatalf("-plain frame contains ANSI escapes:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-interval", "0s"}, &buf); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if err := run([]string{"-width", "2"}, &buf); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+}
+
+func TestRunUnreachableEndpoint(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:1", "-n", "1"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "debug-addr") {
+		t.Fatalf("unreachable endpoint error unhelpful: %v", err)
+	}
+}
+
+func TestGroupDigits(t *testing.T) {
+	cases := map[uint64]string{
+		0: "0", 12: "12", 123: "123", 1234: "1,234",
+		1234567: "1,234,567", 100000: "100,000",
+	}
+	for n, want := range cases {
+		if got := groupDigits(n); got != want {
+			t.Errorf("groupDigits(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/phasetrace"
 	"repro/internal/trace"
 )
 
@@ -93,6 +95,122 @@ func TestTraceSummary(t *testing.T) {
 	out := runToFile(t, []string{"-horizon", "3", "-procs", "8192", "-seed", "5", "-summary"})
 	if !strings.Contains(out, "dump_chkpt") || !strings.Contains(out, "events") {
 		t.Fatalf("summary output unexpected:\n%s", out)
+	}
+}
+
+func TestTraceSpansNDJSON(t *testing.T) {
+	out := runToFile(t, []string{"-horizon", "50", "-procs", "65536", "-seed", "3", "-spans"})
+	dec := json.NewDecoder(strings.NewReader(out))
+	var spans []phasetrace.Span
+	rollbacks := 0
+	for dec.More() {
+		var raw map[string]json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			t.Fatalf("span output not NDJSON: %v", err)
+		}
+		if rb, ok := raw["rollback"]; ok {
+			var l phasetrace.Loss
+			if err := json.Unmarshal(rb, &l); err != nil {
+				t.Fatalf("bad rollback record: %v", err)
+			}
+			if l.Amount <= 0 {
+				t.Fatalf("rollback with non-positive loss: %+v", l)
+			}
+			rollbacks++
+			continue
+		}
+		data, _ := json.Marshal(raw)
+		var sp phasetrace.Span
+		if err := json.Unmarshal(data, &sp); err != nil {
+			t.Fatalf("bad span record: %v", err)
+		}
+		spans = append(spans, sp)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+	// Spans must tile [0, horizon] without gaps or overlaps.
+	if spans[0].Start != 0 {
+		t.Fatalf("first span starts at %v", spans[0].Start)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start != spans[i-1].End {
+			t.Fatalf("gap between spans %d and %d: %v != %v", i-1, i, spans[i-1].End, spans[i].Start)
+		}
+	}
+	if got := spans[len(spans)-1].End; got != 50 {
+		t.Fatalf("last span ends at %v, want 50", got)
+	}
+	sawDump := false
+	for _, sp := range spans {
+		if sp.Phase == phasetrace.Dump {
+			sawDump = true
+		}
+	}
+	if !sawDump {
+		t.Fatal("no checkpoint-dump span in 50 hours")
+	}
+}
+
+func TestTraceSpansSummary(t *testing.T) {
+	out := runToFile(t, []string{"-horizon", "50", "-procs", "65536", "-seed", "3", "-spans", "-summary"})
+	for _, want := range []string{"spans", "computation", "dump", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceChromeExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	runToFile(t, []string{"-horizon", "50", "-procs", "65536", "-seed", "3", "-spans", "-chrome", path})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file must be valid trace-event JSON: an object with a traceEvents
+	// array whose entries carry the required per-format fields.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			Pid   int     `json:"pid"`
+			Tid   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	sawComplete := false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			sawComplete = true
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event with non-positive dur: %+v", ev)
+			}
+		case "M", "i":
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Phase)
+		}
+		if ev.Name == "" {
+			t.Fatalf("unnamed event: %+v", ev)
+		}
+	}
+	if !sawComplete {
+		t.Fatal("no complete (X) span events in chrome export")
+	}
+}
+
+func TestTraceChromeRequiresSpans(t *testing.T) {
+	if err := run([]string{"-chrome", "x.json"}, os.Stdout); err == nil {
+		t.Fatal("-chrome without -spans accepted")
 	}
 }
 

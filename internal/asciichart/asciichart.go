@@ -41,6 +41,13 @@ func Render(fig *experiments.Figure, opts Options) string {
 		for _, p := range s.Points {
 			x := xVal(p.X, opts.LogX)
 			y := fig.YValue(p)
+			// Non-finite points (NaN fractions from empty accumulators,
+			// ±Inf half-widths leaking into means) would poison the
+			// bounds and index the grid out of range; skip them here and
+			// when plotting.
+			if !finite(x) || !finite(y) {
+				continue
+			}
 			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
 			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
 			pointCount++
@@ -69,6 +76,9 @@ func Render(fig *experiments.Figure, opts Options) string {
 		for _, p := range s.Points {
 			x := xVal(p.X, opts.LogX)
 			y := fig.YValue(p)
+			if !finite(x) || !finite(y) {
+				continue
+			}
 			col := int(math.Round((x - xMin) / (xMax - xMin) * float64(opts.Width-1)))
 			row := opts.Height - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(opts.Height-1)))
 			if grid[row][col] != ' ' && grid[row][col] != mark {
@@ -119,6 +129,44 @@ func xVal(x float64, logX bool) float64 {
 		return math.Log10(x)
 	}
 	return x
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// sparkRunes are the eight block levels of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series of values as one line of block characters —
+// the compact trend view cctop uses for convergence and throughput. The
+// last `width` values are shown (older ones scroll off); non-finite values
+// render as a space; a flat series renders at the lowest level. Returns ""
+// for an empty series or non-positive width.
+func Sparkline(values []float64, width int) string {
+	if width <= 0 || len(values) == 0 {
+		return ""
+	}
+	if len(values) > width {
+		values = values[len(values)-width:]
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if finite(v) {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		switch {
+		case !finite(v) || hi < lo: // hi < lo: no finite value at all
+			out[i] = ' '
+		case hi == lo:
+			out[i] = sparkRunes[0]
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			out[i] = sparkRunes[idx]
+		}
+	}
+	return string(out)
 }
 
 // fmtX renders an axis endpoint in the original (non-log) domain.

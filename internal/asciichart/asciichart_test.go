@@ -1,6 +1,7 @@
 package asciichart
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -74,6 +75,80 @@ func TestRenderDegenerateRanges(t *testing.T) {
 	out := Render(fig, Options{Width: 20, Height: 5})
 	if !strings.Contains(out, "*") {
 		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestRenderNonFinitePoints(t *testing.T) {
+	mk := func(x, y float64) experiments.Point {
+		return experiments.Point{X: x, Fraction: stats.Interval{Mean: y}}
+	}
+	fig := &experiments.Figure{
+		ID: "nanfig", Title: "nan figure", XLabel: "x", YLabel: "useful work fraction",
+		Series: []experiments.Series{{
+			Name: "mixed",
+			Points: []experiments.Point{
+				mk(1, 0.5), mk(2, math.NaN()), mk(3, math.Inf(1)),
+				mk(math.Inf(-1), 0.4), mk(4, 0.6),
+			},
+		}},
+	}
+	// Must not panic, must plot the finite points, and the non-finite ones
+	// must not poison the axis bounds.
+	out := Render(fig, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("finite points not plotted:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf", "+Inf", "-Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("non-finite value leaked into the axes:\n%s", out)
+		}
+	}
+
+	// All-non-finite degenerates to the empty-figure placeholder.
+	fig.Series[0].Points = []experiments.Point{mk(1, math.NaN()), mk(2, math.Inf(1))}
+	out = Render(fig, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("all-NaN figure not flagged:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty series → %q, want \"\"", got)
+	}
+	if got := Sparkline([]float64{1, 2}, 0); got != "" {
+		t.Errorf("zero width → %q, want \"\"", got)
+	}
+	// Single point: one rune, lowest level.
+	if got := Sparkline([]float64{5}, 10); got != "▁" {
+		t.Errorf("single point → %q, want ▁", got)
+	}
+	// Flat series: all lowest level, no division-by-zero artifacts.
+	if got := Sparkline([]float64{3, 3, 3}, 10); got != "▁▁▁" {
+		t.Errorf("flat series → %q", got)
+	}
+	// Increasing series ends at the top block.
+	got := []rune(Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 10))
+	if len(got) != 8 || got[0] != '▁' || got[7] != '█' {
+		t.Errorf("ramp → %q", string(got))
+	}
+	// Longer than width: only the newest values remain.
+	if got := Sparkline([]float64{9, 9, 9, 0, 1}, 2); len([]rune(got)) != 2 {
+		t.Errorf("downsample kept %d runes, want 2: %q", len([]rune(got)), got)
+	} else if []rune(got)[1] != '█' {
+		t.Errorf("tail of downsampled series wrong: %q", got)
+	}
+	// NaN/Inf render as blanks and leave the finite scaling intact.
+	got = []rune(Sparkline([]float64{0, math.NaN(), 1, math.Inf(1)}, 10))
+	if got[1] != ' ' || got[3] != ' ' {
+		t.Errorf("non-finite values not blanked: %q", string(got))
+	}
+	if got[0] != '▁' || got[2] != '█' {
+		t.Errorf("finite scaling wrong around NaN: %q", string(got))
+	}
+	// All-non-finite: blanks only, no panic.
+	if got := Sparkline([]float64{math.NaN(), math.Inf(-1)}, 10); got != "  " {
+		t.Errorf("all-non-finite → %q, want two blanks", got)
 	}
 }
 

@@ -50,6 +50,8 @@ func CheckClaims(fig *Figure) []ClaimResult {
 		return checkSeriesOrdered(fig, "classic (no coordination)", "renewal (with coordination)")
 	case "xbreakdown":
 		return checkRecoveryGrows(fig)
+	case "xphasecheck":
+		return checkSpanAgreement(fig)
 	default:
 		return []ClaimResult{{Figure: fig.ID, Claim: "no automated claim", Pass: true, Detail: "informational"}}
 	}

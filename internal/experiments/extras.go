@@ -162,6 +162,11 @@ func Extras() []Def {
 			ShapeClaim: "repeated work + recovery grow with scale and exceed 50% at the optimum",
 			Run:        ExtraBreakdown,
 		},
+		{
+			ID: "xphasecheck", Title: "Phase-accounting self-verification",
+			ShapeClaim: "span-derived useful work matches the reward estimate within CI half-width on every variant",
+			Run:        ExtraPhaseCheck,
+		},
 	}
 	return append(defs, extras2Defs()...)
 }

@@ -7,8 +7,8 @@ import (
 
 func TestExtrasRegistry(t *testing.T) {
 	extras := Extras()
-	if len(extras) != 4 {
-		t.Fatalf("extras = %d, want 4", len(extras))
+	if len(extras) != 5 {
+		t.Fatalf("extras = %d, want 5", len(extras))
 	}
 	for _, d := range extras {
 		if d.ID == "" || d.Title == "" || d.ShapeClaim == "" || d.Run == nil {
@@ -95,8 +95,8 @@ func TestExtrasIDsUnique(t *testing.T) {
 		}
 		seen[d.ID] = true
 	}
-	if len(Extras()) != 4 {
-		t.Fatalf("extras = %d, want 4", len(Extras()))
+	if len(Extras()) != 5 {
+		t.Fatalf("extras = %d, want 5", len(Extras()))
 	}
 }
 

@@ -1,0 +1,40 @@
+package model
+
+import (
+	"repro/internal/phasetrace"
+	"repro/internal/san"
+)
+
+// AttachPhases wires a phase-span recorder to the instance's simulator via
+// a firing hook and returns it. The hook reads the post-firing marking
+// directly (no map snapshot), so phase recording costs a few place reads
+// per firing and — being purely observational — provably cannot change the
+// trajectory (see TestPhaseRecordingIsObservational).
+//
+// Attach before the first RunSteadyState/Advance call: the recorder opens
+// its first span at the instance's current time and state. The returned
+// recorder is live until the simulator is discarded; call Finish at the
+// horizon to extract the timeline.
+func (in *Instance) AttachPhases() *phasetrace.Recorder {
+	rec := phasetrace.NewRecorder(phasetrace.Options{
+		NoBufferedRecovery: in.cfg.NoBufferedRecovery,
+	})
+	pl := in.pl
+	digest := func(m *san.Marking) phasetrace.State {
+		return phasetrace.State{
+			Execution:      m.Get(pl.execution) > 0,
+			Quiescing:      m.Get(pl.quiescing) > 0,
+			Checkpointing:  m.Get(pl.checkpointing) > 0,
+			FSWait:         m.Get(pl.fsWait) > 0,
+			RecoveryStage1: m.Get(pl.recoveryStage1) > 0,
+			RecoveryStage2: m.Get(pl.recoveryStage2) > 0,
+			Rebooting:      m.Get(pl.rebooting) > 0,
+			SysUp:          m.Get(pl.sysUp) > 0,
+		}
+	}
+	rec.Begin(in.sim.Now(), digest(in.sim.CurrentMarking()))
+	in.sim.AddFiringHook(func(t float64, a *san.Activity, m *san.Marking) {
+		rec.Observe(t, a.Name, digest(m))
+	})
+	return rec
+}

@@ -165,18 +165,69 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Min = math.Float64frombits(h.minBits.Load())
 		s.Max = math.Float64frombits(h.maxBits.Load())
 	}
+	s.fillQuantiles(h.bounds, s.Counts)
 	return s
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram, shaped for
 // JSON (journal records, /metricz).
 type HistogramSnapshot struct {
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
-	Min    float64   `json:"min"`
-	Max    float64   `json:"max"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// P50/P90/P99 estimate the quantiles from the bucket counts by linear
+	// interpolation within the owning bucket, clamped to [Min, Max]; exact
+	// when the distribution is uniform within buckets, and always inside
+	// the bucket that truly contains the quantile.
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []uint64  `json:"counts,omitempty"` // len(Bounds)+1; last is overflow
+}
+
+// fillQuantiles populates P50/P90/P99 from a bucket-count vector (which
+// need not be retained in the snapshot itself — the shard form drops it).
+func (s *HistogramSnapshot) fillQuantiles(bounds []float64, counts []uint64) {
+	if s.Count == 0 {
+		return
+	}
+	s.P50 = bucketQuantile(bounds, counts, s.Count, s.Min, s.Max, 0.50)
+	s.P90 = bucketQuantile(bounds, counts, s.Count, s.Min, s.Max, 0.90)
+	s.P99 = bucketQuantile(bounds, counts, s.Count, s.Min, s.Max, 0.99)
+}
+
+// bucketQuantile estimates the q-quantile of a fixed-bucket histogram: find
+// the bucket holding the rank q·total, then interpolate linearly across it.
+// The first bucket's lower edge and the overflow bucket's upper edge are
+// unknown, so the observed min/max stand in; every estimate is clamped to
+// [min, max], which also makes single-observation histograms exact.
+func bucketQuantile(bounds []float64, counts []uint64, total uint64, min, max, q float64) float64 {
+	rank := q * float64(total)
+	cum := 0.0
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo := min
+			if i > 0 && bounds[i-1] > lo {
+				lo = bounds[i-1]
+			}
+			hi := max
+			if i < len(bounds) && bounds[i] < hi {
+				hi = bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			return lo + (hi-lo)*((rank-cum)/float64(n))
+		}
+		cum = next
+	}
+	return max
 }
 
 // Mean returns the snapshot's mean observation (0 when empty).
@@ -412,14 +463,14 @@ func (r *Registry) WriteTable(w io.Writer) error {
 		p("histograms:\n")
 		for _, name := range sortedKeys(s.Histograms) {
 			h := s.Histograms[name]
-			p("  %-40s count=%d mean=%.4g min=%g max=%g\n", name, h.Count, h.Mean(), h.Min, h.Max)
+			p("  %-40s count=%d mean=%.4g min=%g p50=%.4g p99=%.4g max=%g\n", name, h.Count, h.Mean(), h.Min, h.P50, h.P99, h.Max)
 		}
 	}
 	if len(s.Timers) > 0 {
 		p("timers (seconds):\n")
 		for _, name := range sortedKeys(s.Timers) {
 			h := s.Timers[name]
-			p("  %-40s count=%d mean=%.4gs min=%.4gs max=%.4gs\n", name, h.Count, h.Mean(), h.Min, h.Max)
+			p("  %-40s count=%d mean=%.4gs min=%.4gs p50=%.4gs p99=%.4gs max=%.4gs\n", name, h.Count, h.Mean(), h.Min, h.P50, h.P99, h.Max)
 		}
 	}
 	return err

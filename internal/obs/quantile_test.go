@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", LinearBuckets(10, 10, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	// 1..100 uniform over bounds 10,20,…,100: interpolation is exact.
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", s.P50, 50},
+		{"p90", s.P90, 90},
+		{"p99", s.P99, 99},
+	} {
+		if math.Abs(tc.got-tc.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestShardHistogramQuantilesMatchRegistry(t *testing.T) {
+	reg := NewRegistry()
+	sh := reg.NewShard()
+	lh := sh.Histogram("q", LinearBuckets(10, 10, 10))
+	for i := 1; i <= 100; i++ {
+		lh.Observe(float64(i))
+	}
+	local := lh.Snapshot()
+	sh.Merge()
+	merged := reg.Histogram("q", LinearBuckets(10, 10, 10)).Snapshot()
+	if local.P50 != merged.P50 || local.P90 != merged.P90 || local.P99 != merged.P99 {
+		t.Errorf("shard quantiles %v/%v/%v differ from registry %v/%v/%v",
+			local.P50, local.P90, local.P99, merged.P50, merged.P90, merged.P99)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+
+	empty := reg.Histogram("empty", []float64{1, 2}).Snapshot()
+	if empty.P50 != 0 || empty.P90 != 0 || empty.P99 != 0 {
+		t.Errorf("empty histogram quantiles not zero: %+v", empty)
+	}
+
+	one := reg.Histogram("one", []float64{1, 2})
+	one.Observe(1.5)
+	s := one.Snapshot()
+	if s.P50 != 1.5 || s.P99 != 1.5 {
+		t.Errorf("single observation: p50=%v p99=%v, want 1.5 (clamped to min/max)", s.P50, s.P99)
+	}
+
+	// All mass in the overflow bucket: quantiles clamp into [min, max].
+	over := reg.Histogram("over", []float64{1})
+	over.Observe(10)
+	over.Observe(20)
+	s = over.Snapshot()
+	if s.P50 < 10 || s.P50 > 20 || s.P99 < 10 || s.P99 > 20 {
+		t.Errorf("overflow-bucket quantiles outside [10,20]: p50=%v p99=%v", s.P50, s.P99)
+	}
+
+	// Quantiles never exceed the observed extremes even when the owning
+	// bucket's edges do.
+	wide := reg.Histogram("wide", []float64{1000})
+	wide.Observe(3)
+	wide.Observe(4)
+	s = wide.Snapshot()
+	if s.P99 > 4 || s.P50 < 3 {
+		t.Errorf("quantiles escaped [min,max]: p50=%v p99=%v", s.P50, s.P99)
+	}
+}

@@ -77,11 +77,14 @@ func (h *LocalHistogram) Count() uint64 { return h.count }
 
 // Snapshot returns the local (unmerged) state as a summary without the
 // bucket vectors — the compact per-replication form journal records embed.
+// Quantiles are estimated from the local bucket counts before they are
+// dropped, so the summary stays a pure function of the observations.
 func (h *LocalHistogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
 	if h.count > 0 {
 		s.Min, s.Max = h.min, h.max
 	}
+	s.fillQuantiles(h.bounds, h.counts)
 	return s
 }
 

@@ -1,0 +1,83 @@
+package phasetrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: one JSON object loadable by Perfetto
+// (ui.perfetto.dev) or chrome://tracing. Trace-event timestamps are
+// microseconds; we map 1 simulated hour to 1e6 µs, so one trace "second"
+// reads as one simulated hour and span durations stay exact in float64.
+const usPerHour = 1e6
+
+// chromeTrace is the JSON-object form of the trace-event format.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the timeline as Chrome trace-event JSON: complete
+// ("X") events for each span on a "phases" track, instant ("i") events
+// for each rollback loss, and metadata naming the process and threads.
+func (tl *Timeline) WriteChrome(w io.Writer, label string) error {
+	if label == "" {
+		label = "trajectory"
+	}
+	const (
+		pid      = 1
+		phaseTid = 1
+		lossTid  = 2
+	)
+	ct := chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents: []chromeEvent{
+			{Name: "process_name", Phase: "M", Pid: pid, Args: map[string]any{"name": label}},
+			{Name: "thread_name", Phase: "M", Pid: pid, Tid: phaseTid, Args: map[string]any{"name": "phases (1 s = 1 sim hour)"}},
+			{Name: "thread_name", Phase: "M", Pid: pid, Tid: lossTid, Args: map[string]any{"name": "rollback losses"}},
+		},
+	}
+	for _, sp := range tl.Spans {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name:  sp.Phase.String(),
+			Phase: "X",
+			Ts:    sp.Start * usPerHour,
+			Dur:   sp.Duration() * usPerHour,
+			Pid:   pid,
+			Tid:   phaseTid,
+			Args: map[string]any{
+				"cause":       sp.Cause,
+				"start_hours": sp.Start,
+				"hours":       sp.Duration(),
+			},
+		})
+	}
+	for _, l := range tl.Losses {
+		ct.TraceEvents = append(ct.TraceEvents, chromeEvent{
+			Name:  fmt.Sprintf("rollback (-%.3g h)", l.Amount),
+			Phase: "i",
+			Ts:    l.Time * usPerHour,
+			Pid:   pid,
+			Tid:   lossTid,
+			Scope: "t",
+			Args:  map[string]any{"cause": l.Cause, "lost_hours": l.Amount},
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(ct); err != nil {
+		return fmt.Errorf("phasetrace: chrome export: %w", err)
+	}
+	return nil
+}

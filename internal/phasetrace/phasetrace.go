@@ -1,0 +1,400 @@
+// Package phasetrace turns a trajectory of the checkpointing model into a
+// timeline of semantic phase spans — the time budgets the paper's headline
+// quantities are made of. Where internal/trace records *what fired when*,
+// phasetrace records *what the machine was doing*: computing, quiescing for
+// a checkpoint, dumping state to the I/O nodes, blocked on a file-system
+// write, recovering, or down in a whole-system reboot.
+//
+// The extractor is a small deterministic state machine fed one observation
+// per activity firing (time, activity name, and a digest of the post-firing
+// marking). It works identically for every model variant — the base model,
+// max-of-n coordination, the master timeout, and correlated failures —
+// because the phase is a pure function of the compute-side macro state,
+// which all variants share; variant-specific activities only differ in
+// *when* they move the system between those states.
+//
+// Besides spans the recorder mirrors the model's useful-work bookkeeping
+// (buffered/durable checkpoint levels, rollback losses), which lets a
+// timeline independently re-derive the reward-based useful-work estimate:
+// useful work over a window is computation time minus the work lost to
+// rollbacks in that window. The runner's self-verification pass
+// (runner.Options.VerifySpans) cross-checks the two derivations against
+// each other — observability that audits the simulator with itself.
+package phasetrace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Phase is a semantic machine state. The zero value is Computation, the
+// state the model starts in.
+type Phase uint8
+
+const (
+	// Computation: the compute nodes execute the application (including
+	// foreground application I/O — the paper counts both as execution).
+	Computation Phase = iota
+	// Rework: computation that re-does work lost to a rollback. Produced
+	// only by Timeline.SplitRework, which splits Computation spans at the
+	// point where the pre-failure high-water mark is re-attained; the raw
+	// recorder cannot know at span-open time whether work will survive.
+	Rework
+	// Quiesce: stopping for a checkpoint — broadcast wait plus the
+	// coordination (slowest-node quiesce), including waits that a master
+	// timeout later aborts.
+	Quiesce
+	// Dump: checkpoint state streaming to the I/O nodes.
+	Dump
+	// FSWait: compute nodes blocked on the checkpoint file-system write
+	// (only under the BlockingCheckpointWrite ablation).
+	FSWait
+	// Recovery: recovery stages 1 and 2, including waits for I/O-node
+	// restarts before a stage can proceed.
+	Recovery
+	// Downtime: whole-system reboot after severe failures.
+	Downtime
+
+	// NumPhases is the number of distinct phases (array sizing).
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"computation", "rework", "quiesce", "dump", "fswait", "recovery", "downtime",
+}
+
+// String returns the lower-case phase name used in span records, metric
+// names and trace-viewer labels.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// MarshalJSON encodes the phase as its name.
+func (p Phase) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON decodes a phase name.
+func (p *Phase) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range phaseNames {
+		if name == s {
+			*p = Phase(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("phasetrace: unknown phase %q", s)
+}
+
+// Phases lists every phase in display order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Span is one contiguous interval the system spent in a phase. Times are
+// simulated hours.
+type Span struct {
+	Phase Phase   `json:"phase"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Cause is the activity whose firing opened the span ("init" for the
+	// span open when recording began).
+	Cause string `json:"cause"`
+}
+
+// Duration returns End − Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Loss is one rollback impulse: at Time, Amount hours of useful work were
+// discarded because the system rolled back to its newest valid checkpoint.
+type Loss struct {
+	Time   float64 `json:"t"`
+	Amount float64 `json:"lost"`
+	Cause  string  `json:"cause"`
+}
+
+// State is the marking digest the recorder needs: the compute-side macro
+// state places plus the up flag. Exactly one macro state holds at any
+// instant in a well-formed trajectory; Phase() resolves them in priority
+// order so a digest from a transient mid-effect marking still classifies.
+type State struct {
+	Execution      bool // place "execution"
+	Quiescing      bool // place "quiescing"
+	Checkpointing  bool // place "checkpointing"
+	FSWait         bool // place "fs_wait"
+	RecoveryStage1 bool // place "recovery_stage1"
+	RecoveryStage2 bool // place "recovery_stage2"
+	Rebooting      bool // place "rebooting"
+	SysUp          bool // place "sys_up"
+}
+
+// Phase classifies the digest.
+func (st State) Phase() Phase {
+	switch {
+	case st.Rebooting:
+		return Downtime
+	case st.RecoveryStage1 || st.RecoveryStage2:
+		return Recovery
+	case st.FSWait:
+		return FSWait
+	case st.Checkpointing:
+		return Dump
+	case st.Quiescing:
+		return Quiesce
+	default:
+		return Computation
+	}
+}
+
+// Options configures a recorder.
+type Options struct {
+	// NoBufferedRecovery mirrors cluster.Config.NoBufferedRecovery: under
+	// that ablation a rollback ignores the buffered checkpoint, so the
+	// loss accounting must fall back to the durable level first.
+	NoBufferedRecovery bool
+}
+
+// Recorder is the live phase-span extractor: feed it one Observe per
+// activity firing (model.Instance.AttachPhases wires this up) and call
+// Finish at the horizon. A Recorder is single-goroutine, like the
+// simulator that feeds it.
+type Recorder struct {
+	opts    Options
+	started bool
+
+	cur      Phase
+	curStart float64
+	curCause string
+	lastT    float64
+
+	prevSysUp     bool
+	prevRebooting bool
+
+	// Useful-work mirror of model.Instance: useful accrues at rate 1
+	// during Computation; capB/capD track the buffered/durable checkpoint
+	// levels; a rollback resets useful to capB.
+	useful, capB, capD float64
+
+	spans  []Span
+	losses []Loss
+}
+
+// NewRecorder returns an idle recorder; call Begin before Observe.
+func NewRecorder(opts Options) *Recorder { return &Recorder{opts: opts} }
+
+// Begin opens the first span at time t from the given state. Beginning
+// twice panics — a recorder extracts exactly one trajectory.
+func (r *Recorder) Begin(t float64, st State) {
+	if r.started {
+		panic("phasetrace: Begin called twice")
+	}
+	r.started = true
+	r.cur = st.Phase()
+	r.curStart, r.lastT = t, t
+	r.curCause = "init"
+	r.prevSysUp, r.prevRebooting = st.SysUp, st.Rebooting
+}
+
+// Observe feeds one activity firing: the firing time, the activity name
+// and the post-firing marking digest. Observations must be time-ordered.
+func (r *Recorder) Observe(t float64, activity string, st State) {
+	if !r.started {
+		panic("phasetrace: Observe before Begin")
+	}
+	if r.cur == Computation {
+		r.useful += t - r.lastT
+	}
+	r.lastT = t
+
+	// Checkpoint-level bookkeeping, mirroring the model's effects in the
+	// order the effects apply them (see internal/model/failrec.go).
+	switch activity {
+	case "dump_chkpt":
+		// The buffered checkpoint captures all work up to the quiesce
+		// point; nothing accrued since, so it secures exactly the
+		// current useful level.
+		r.capB = r.useful
+	case "write_chkpt":
+		// The durable copy catches up with the buffer.
+		r.capD = r.capB
+	case "io_failure":
+		// The I/O restart wipes the buffers before any rollback the
+		// same firing may trigger.
+		r.capB = r.capD
+	case "recover_stage1":
+		// Stage 1 re-reads the durable checkpoint into the buffers.
+		r.capB = r.capD
+	}
+	if st.Rebooting && !r.prevRebooting {
+		// Entering a reboot loses the I/O-node buffers too.
+		r.capB = r.capD
+	}
+	// Rollback: the compute subsystem went down while up. Every such
+	// transition — compute failure, or an I/O failure that lost
+	// application data — discards the work since the newest valid
+	// checkpoint.
+	if r.prevSysUp && !st.SysUp {
+		if r.opts.NoBufferedRecovery {
+			r.capB = r.capD
+		}
+		lost := r.useful - r.capB
+		r.losses = append(r.losses, Loss{Time: t, Amount: lost, Cause: activity})
+		r.useful = r.capB
+	}
+	r.prevSysUp, r.prevRebooting = st.SysUp, st.Rebooting
+
+	if p := st.Phase(); p != r.cur {
+		if t > r.curStart {
+			r.spans = append(r.spans, Span{Phase: r.cur, Start: r.curStart, End: t, Cause: r.curCause})
+		}
+		// A zero-length span (several phase changes at one instant)
+		// is dropped; the latest activity becomes the new span's cause.
+		r.cur, r.curStart, r.curCause = p, t, activity
+	}
+}
+
+// Finish closes the open span at the horizon and returns the timeline.
+// The recorder itself stays usable, so a caller may take an intermediate
+// timeline and keep observing (later Finish calls supersede earlier ones).
+func (r *Recorder) Finish(t float64) *Timeline {
+	if !r.started {
+		panic("phasetrace: Finish before Begin")
+	}
+	spans := append([]Span(nil), r.spans...)
+	if t > r.curStart {
+		spans = append(spans, Span{Phase: r.cur, Start: r.curStart, End: t, Cause: r.curCause})
+	}
+	return &Timeline{
+		Start:  startOf(spans, r.curStart),
+		End:    t,
+		Spans:  spans,
+		Losses: append([]Loss(nil), r.losses...),
+	}
+}
+
+func startOf(spans []Span, fallback float64) float64 {
+	if len(spans) > 0 {
+		return spans[0].Start
+	}
+	return fallback
+}
+
+// Timeline is one extracted trajectory: phase spans in time order plus the
+// rollback losses.
+type Timeline struct {
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Spans  []Span  `json:"spans"`
+	Losses []Loss  `json:"losses,omitempty"`
+}
+
+// Budget is the total hours per phase, indexed by Phase.
+type Budget [NumPhases]float64
+
+// Total sums every phase.
+func (b Budget) Total() float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Budget aggregates the whole timeline.
+func (tl *Timeline) Budget() Budget { return tl.BudgetBetween(tl.Start, tl.End) }
+
+// BudgetBetween aggregates the spans clipped to [t0, t1].
+func (tl *Timeline) BudgetBetween(t0, t1 float64) Budget {
+	var b Budget
+	for _, sp := range tl.Spans {
+		lo, hi := sp.Start, sp.End
+		if lo < t0 {
+			lo = t0
+		}
+		if hi > t1 {
+			hi = t1
+		}
+		if hi > lo {
+			b[sp.Phase] += hi - lo
+		}
+	}
+	return b
+}
+
+// LostBetween sums the rollback losses with t0 < t ≤ t1 — the half-open
+// window convention the runner's measurement window uses (a loss exactly
+// at the warmup boundary was already absorbed into the warmup snapshot).
+func (tl *Timeline) LostBetween(t0, t1 float64) float64 {
+	var lost float64
+	for _, l := range tl.Losses {
+		if l.Time > t0 && l.Time <= t1 {
+			lost += l.Amount
+		}
+	}
+	return lost
+}
+
+// UsefulFraction re-derives the paper's useful-work fraction over the
+// window (t0, t1] from spans alone: computation time minus rollback
+// losses, clamped at zero exactly as model.RunSteadyState clamps the
+// reward-based estimate, divided by the window length.
+func (tl *Timeline) UsefulFraction(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	b := tl.BudgetBetween(t0, t1)
+	useful := b[Computation] + b[Rework] - tl.LostBetween(t0, t1)
+	if useful < 0 {
+		useful = 0
+	}
+	return useful / (t1 - t0)
+}
+
+// SplitRework returns a copy of the timeline whose Computation spans are
+// split into Rework (re-doing work discarded by an earlier rollback) and
+// Computation (new forward progress). The split point of a span is where
+// accrued work re-attains the pre-failure high-water mark; losses move
+// the accrued level down, never the high-water mark.
+func (tl *Timeline) SplitRework() *Timeline {
+	out := &Timeline{Start: tl.Start, End: tl.End, Losses: append([]Loss(nil), tl.Losses...)}
+	var useful, hwm float64
+	li := 0
+	for _, sp := range tl.Spans {
+		// Apply every loss up to and including the span's start first:
+		// losses fire at span boundaries (a rollback always changes the
+		// phase), so by the time a span opens, earlier losses are final.
+		for li < len(tl.Losses) && tl.Losses[li].Time <= sp.Start {
+			useful -= tl.Losses[li].Amount
+			li++
+		}
+		if sp.Phase != Computation {
+			out.Spans = append(out.Spans, sp)
+			continue
+		}
+		if hwm > useful {
+			redo := hwm - useful
+			if redo > sp.Duration() {
+				redo = sp.Duration()
+			}
+			out.Spans = append(out.Spans, Span{Phase: Rework, Start: sp.Start, End: sp.Start + redo, Cause: sp.Cause})
+			if sp.Start+redo < sp.End {
+				out.Spans = append(out.Spans, Span{Phase: Computation, Start: sp.Start + redo, End: sp.End, Cause: sp.Cause})
+			}
+		} else {
+			out.Spans = append(out.Spans, sp)
+		}
+		useful += sp.Duration()
+		if useful > hwm {
+			hwm = useful
+		}
+	}
+	return out
+}

@@ -10,7 +10,16 @@ import (
 	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/phasetrace"
 	"repro/internal/stats"
+)
+
+// Bucket layouts for the span-derived metrics: phase budgets span minutes
+// to thousands of hours per window, loss impulses fractions of an hour to
+// a few hundred.
+var (
+	phaseBuckets = obs.ExpBuckets(0.25, 2, 16)
+	lossBuckets  = obs.ExpBuckets(0.01, 4, 10)
 )
 
 // Comparison is the outcome of a paired A/B estimate.
@@ -111,6 +120,13 @@ type repOut struct {
 	fired   uint64
 	wall    time.Duration
 	sim     map[string]any
+
+	// Span-derived accounting (Options.VerifySpans only): the useful-work
+	// fraction re-derived from phase spans, the windowed per-phase budget
+	// with rework split out, and the rollback count inside the window.
+	spanFrac  float64
+	phase     phasetrace.Budget
+	rollbacks int
 }
 
 // runOne simulates one trajectory. When telemetry is requested it attaches
@@ -134,8 +150,33 @@ func runOne(cfg cluster.Config, seed uint64, opts Options) (repOut, error) {
 		sh = reg.NewShard()
 		in.Instrument(sh)
 	}
+	var rec *phasetrace.Recorder
+	if opts.VerifySpans {
+		rec = in.AttachPhases()
+	}
 	m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
 	out := repOut{metrics: m, fired: in.Fired(), wall: time.Since(start)}
+	if rec != nil {
+		t0, t1 := opts.Warmup, opts.Warmup+opts.Measure
+		tl := rec.Finish(in.Now()).SplitRework()
+		out.spanFrac = tl.UsefulFraction(t0, t1)
+		out.phase = tl.BudgetBetween(t0, t1)
+		for _, l := range tl.Losses {
+			if l.Time > t0 && l.Time <= t1 {
+				out.rollbacks++
+				if sh != nil {
+					sh.Histogram("phase.loss_hours", lossBuckets).Observe(l.Amount)
+				}
+			}
+		}
+		if sh != nil {
+			for _, p := range phasetrace.Phases() {
+				sh.Histogram("phase.hours."+p.String(), phaseBuckets).Observe(out.phase[p])
+			}
+			sh.Counter("phase.rollbacks").Add(uint64(out.rollbacks))
+			sh.Counter("phase.spans").Add(uint64(len(tl.Spans)))
+		}
+	}
 	if sh != nil {
 		in.FlushEngineStats()
 		if opts.Journal != nil {

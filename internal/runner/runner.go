@@ -16,6 +16,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/phasetrace"
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -62,6 +63,14 @@ type Options struct {
 	// Label, when non-empty, tags every journal record of this estimate —
 	// sweeps and experiment grids use it to identify the cell.
 	Label string
+	// VerifySpans attaches a phase-span recorder (internal/phasetrace) to
+	// every replication and cross-checks the span-derived useful-work
+	// fraction against the reward-based estimate — two independent
+	// derivations from the same trajectory. The outcome is published as
+	// Result.SpanCheck, per-phase time budgets flow into Metrics
+	// (phase.hours.*) and the journal, and recording is purely
+	// observational: the trajectory is bit-identical with or without it.
+	VerifySpans bool
 }
 
 // Progress is a snapshot of an in-flight estimation.
@@ -124,6 +133,49 @@ type Result struct {
 	TotalUsefulWork stats.Interval
 	// PerReplication holds the raw metrics of each trajectory.
 	PerReplication []model.Metrics
+	// SpanCheck reports the span-vs-reward cross-check; nil unless
+	// Options.VerifySpans was set.
+	SpanCheck *SpanCheck
+}
+
+// SpanCheck is the outcome of the phase-accounting self-verification: the
+// reward-based and span-derived useful-work estimates of the same
+// trajectories, and whether their worst per-replication disagreement stays
+// within tolerance.
+type SpanCheck struct {
+	// RewardMean and SpanMean are the replication means of the two
+	// derivations (they use identical trajectories, so the difference is
+	// pure accounting error, not sampling noise).
+	RewardMean float64
+	SpanMean   float64
+	// MaxDelta is the largest per-replication |span − reward|.
+	MaxDelta float64
+	// Tolerance is the acceptance threshold: the reward estimate's CI
+	// half-width (the issue's yardstick), floored at 1e-9 so a zero-width
+	// interval still admits float round-off.
+	Tolerance float64
+	// Within reports MaxDelta ≤ Tolerance.
+	Within bool
+}
+
+// spanCheck folds the per-replication comparisons into a SpanCheck.
+func spanCheck(outs []repOut, res Result) *SpanCheck {
+	sc := &SpanCheck{RewardMean: res.UsefulWorkFraction.Mean}
+	for _, o := range outs {
+		sc.SpanMean += o.spanFrac
+		if d := math.Abs(o.spanFrac - o.metrics.UsefulWorkFraction); d > sc.MaxDelta {
+			sc.MaxDelta = d
+		}
+	}
+	if len(outs) > 0 {
+		sc.SpanMean /= float64(len(outs))
+	}
+	sc.Tolerance = res.UsefulWorkFraction.HalfWide
+	if math.IsNaN(sc.Tolerance) || math.IsInf(sc.Tolerance, 0) || sc.Tolerance < 1e-9 {
+		sc.Tolerance = 1e-9
+	}
+	sc.Within = sc.MaxDelta <= sc.Tolerance
+	return sc
 }
 
 // Estimate runs the model for cfg under the given options.
@@ -162,6 +214,9 @@ func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Res
 		metrics[i] = o.metrics
 	}
 	res := reduce(metrics, opts)
+	if opts.VerifySpans {
+		res.SpanCheck = spanCheck(outs, res)
+	}
 	recordEstimate(opts, outs, res, time.Since(start))
 	if opts.Journal != nil {
 		if err := writeJournal(opts, seeds, outs, res); err != nil {
@@ -215,6 +270,12 @@ func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error
 		if o.sim != nil {
 			fields["sim"] = o.sim
 		}
+		if opts.VerifySpans {
+			fields["span_useful_fraction"] = o.spanFrac
+			fields["span_delta"] = o.spanFrac - o.metrics.UsefulWorkFraction
+			fields["rollbacks"] = o.rollbacks
+			fields["phase_hours"] = phaseHours(o.phase)
+		}
 		// The prefix CI half-width after this replication — the raw
 		// convergence trajectory, one point per record.
 		fields["ci_half_width"] = acc.Convergence(opts.Confidence).HalfWidth
@@ -236,10 +297,31 @@ func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error
 		"total_useful":    ivMap(res.TotalUsefulWork),
 		"convergence":     stats.ConvergenceTrajectory(fracs, opts.Confidence),
 	}
+	if sc := res.SpanCheck; sc != nil {
+		fields["span_check"] = map[string]any{
+			"reward_mean": sc.RewardMean,
+			"span_mean":   sc.SpanMean,
+			"max_delta":   sc.MaxDelta,
+			"tolerance":   sc.Tolerance,
+			"within":      sc.Within,
+		}
+	}
 	if opts.Label != "" {
 		fields["label"] = opts.Label
 	}
 	return j.Record("estimate", fields)
+}
+
+// phaseHours flattens a windowed budget for the journal, keeping only the
+// phases that occurred so records stay compact.
+func phaseHours(b phasetrace.Budget) map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range phasetrace.Phases() {
+		if b[p] > 0 {
+			out[p.String()] = b[p]
+		}
+	}
+	return out
 }
 
 // ivMap flattens an interval for the journal, nulling a non-finite

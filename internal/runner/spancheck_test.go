@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// failing returns a config with failures frequent enough that the check
+// exercises rollbacks, recoveries and (sometimes) reboots in a short window.
+func failing() cluster.Config {
+	cfg := cluster.Default()
+	cfg.MTTFPerNode = cluster.Years(10)
+	return cfg
+}
+
+// TestVerifySpansAgreement is the issue's acceptance check at the runner
+// level: span-derived useful work matches the reward estimate within the
+// CI half-width for the base, timeout and correlated variants.
+func TestVerifySpansAgreement(t *testing.T) {
+	variants := map[string]cluster.Config{}
+	variants["base"] = failing()
+	withTimeout := failing()
+	withTimeout.Timeout = cluster.Seconds(120)
+	variants["timeout"] = withTimeout
+	corr := failing()
+	corr.ProbCorrelated = 0.3
+	corr.CorrelatedFactor = 100
+	variants["correlated"] = corr
+
+	for name, cfg := range variants {
+		t.Run(name, func(t *testing.T) {
+			opts := quickOpts()
+			opts.VerifySpans = true
+			res, err := Estimate(cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := res.SpanCheck
+			if sc == nil {
+				t.Fatal("VerifySpans set but SpanCheck is nil")
+			}
+			if !sc.Within {
+				t.Errorf("span accounting disagrees: max |Δ| = %g > tolerance %g (reward %v, span %v)",
+					sc.MaxDelta, sc.Tolerance, sc.RewardMean, sc.SpanMean)
+			}
+			// The two derivations see the same trajectories, so they must
+			// agree to round-off, far inside any statistical tolerance.
+			if sc.MaxDelta > 1e-9 {
+				t.Errorf("max delta %g exceeds round-off budget", sc.MaxDelta)
+			}
+		})
+	}
+}
+
+// TestVerifySpansObservational: the estimate itself is bit-identical with
+// and without span verification.
+func TestVerifySpansObservational(t *testing.T) {
+	cfg := failing()
+	plain, err := Estimate(cfg, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOpts()
+	opts.VerifySpans = true
+	verified, err := Estimate(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.UsefulWorkFraction != verified.UsefulWorkFraction {
+		t.Errorf("span verification changed the estimate: %+v vs %+v",
+			plain.UsefulWorkFraction, verified.UsefulWorkFraction)
+	}
+}
+
+// TestVerifySpansTelemetryAndJournal: phase budgets reach the registry and
+// the journal carries the per-replication span fields plus the estimate's
+// span_check verdict.
+func TestVerifySpansTelemetryAndJournal(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	opts := quickOpts()
+	opts.VerifySpans = true
+	opts.Metrics = reg
+	opts.Journal = obs.NewJournal(&buf)
+	res, err := Estimate(failing(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	comp, ok := snap.Histograms["phase.hours.computation"]
+	if !ok {
+		t.Fatal("phase.hours.computation histogram missing")
+	}
+	if comp.Count != uint64(opts.Replications) {
+		t.Errorf("computation budget observations = %d, want %d", comp.Count, opts.Replications)
+	}
+	if comp.Sum <= 0 || comp.Sum > float64(opts.Replications)*opts.Measure {
+		t.Errorf("computation hours %v outside (0, total window]", comp.Sum)
+	}
+	if _, ok := snap.Counters["phase.spans"]; !ok {
+		t.Error("phase.spans counter missing")
+	}
+
+	var sawSpanFields, sawSpanCheck bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad journal line: %v", err)
+		}
+		switch rec["kind"] {
+		case "replication":
+			if _, ok := rec["span_useful_fraction"]; ok {
+				sawSpanFields = true
+				if ph, ok := rec["phase_hours"].(map[string]any); !ok || len(ph) == 0 {
+					t.Errorf("replication record lacks phase_hours: %v", rec["phase_hours"])
+				}
+			}
+		case "estimate":
+			sc, ok := rec["span_check"].(map[string]any)
+			if !ok {
+				t.Fatal("estimate record lacks span_check")
+			}
+			sawSpanCheck = true
+			if within, _ := sc["within"].(bool); !within {
+				t.Errorf("journal span_check not within tolerance: %v", sc)
+			}
+		}
+	}
+	if !sawSpanFields || !sawSpanCheck {
+		t.Errorf("journal missing span fields (replication=%v, estimate=%v)", sawSpanFields, sawSpanCheck)
+	}
+	if res.SpanCheck == nil || !res.SpanCheck.Within {
+		t.Errorf("result span check: %+v", res.SpanCheck)
+	}
+}

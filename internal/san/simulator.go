@@ -165,6 +165,7 @@ type Simulator struct {
 	firedAct   int // timed activity whose event fired this settle (-1: none)
 
 	trace      TraceFunc
+	hooks      []TraceFunc
 	invariants []Invariant
 	stats      *simStats // nil when uninstrumented (the default)
 
@@ -334,6 +335,21 @@ func (s *Simulator) Marking() *Marking { return s.marking }
 
 // SetTrace installs a firing observer (nil disables tracing).
 func (s *Simulator) SetTrace(f TraceFunc) { s.trace = f }
+
+// AddFiringHook registers an additional firing observer, called after the
+// SetTrace observer with the same (time, activity, post-firing marking)
+// arguments. Hooks are independent of SetTrace so a tool can stream raw
+// events while a phase-span recorder watches the same trajectory; they are
+// strictly observational — a hook must not mutate the marking or draw from
+// the random source, which is what keeps traced and untraced trajectories
+// bit-identical. Hooks survive Reset and cannot be removed; a Simulator
+// that needs different observers is rebuilt.
+func (s *Simulator) AddFiringHook(f TraceFunc) {
+	if f == nil {
+		panic("san: nil firing hook")
+	}
+	s.hooks = append(s.hooks, f)
+}
 
 // AddInvariant registers a marking predicate evaluated after every firing.
 // A violation panics with the firing context — invariants exist to catch
@@ -616,6 +632,9 @@ func (s *Simulator) fire(a *Activity) {
 	if s.trace != nil {
 		s.trace(now, a, s.marking)
 	}
+	for _, h := range s.hooks {
+		h(now, a, s.marking)
+	}
 }
 
 // accrueRates integrates each rate reward up to time t with the
@@ -674,6 +693,11 @@ func (s *Simulator) closeRates(t float64) {
 		}
 	}
 }
+
+// CurrentMarking exposes the live marking for read-only observation —
+// firing hooks and phase extractors read individual places from it without
+// paying for a map snapshot. Mutating it corrupts the simulation.
+func (s *Simulator) CurrentMarking() *Marking { return s.marking }
 
 // Snapshot returns a copy of the token counts keyed by place name, for
 // tests and debugging.

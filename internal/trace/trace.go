@@ -6,6 +6,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,26 +56,54 @@ func (w *Writer) Flush() error {
 	return nil
 }
 
-// Reader iterates NDJSON events.
+// maxLineBytes bounds a single NDJSON line (4 MiB — far above any real
+// event, small enough that a binary file fed in by mistake fails fast).
+const maxLineBytes = 4 << 20
+
+// Reader iterates NDJSON events line by line. Malformed input produces a
+// line-numbered error rather than a silent stop: bad JSON, trailing bytes
+// after an object, and a truncated (unterminated) last line are all
+// reported with the 1-based line they occur on. Blank lines are skipped.
 type Reader struct {
-	dec *json.Decoder
+	sc   *bufio.Scanner
+	line int
 }
 
 // NewReader wraps r for event reading.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{dec: json.NewDecoder(r)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
+	return &Reader{sc: sc}
 }
 
-// Next returns the next event; io.EOF when the stream ends.
+// Next returns the next event; io.EOF when the stream ends cleanly.
 func (r *Reader) Next() (Event, error) {
-	var ev Event
-	if err := r.dec.Decode(&ev); err != nil {
-		if err == io.EOF {
-			return Event{}, io.EOF
+	for r.sc.Scan() {
+		r.line++
+		data := bytes.TrimSpace(r.sc.Bytes())
+		if len(data) == 0 {
+			continue
 		}
-		return Event{}, fmt.Errorf("trace: %w", err)
+		dec := json.NewDecoder(bytes.NewReader(data))
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return Event{}, fmt.Errorf("trace: line %d: truncated event (partial JSON object — incomplete trace file?)", r.line)
+			}
+			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
+		}
+		if dec.More() {
+			return Event{}, fmt.Errorf("trace: line %d: trailing data after event object", r.line)
+		}
+		return ev, nil
 	}
-	return ev, nil
+	if err := r.sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return Event{}, fmt.Errorf("trace: line %d: event line exceeds %d bytes (is this an NDJSON trace?)", r.line+1, maxLineBytes)
+		}
+		return Event{}, fmt.Errorf("trace: line %d: %w", r.line+1, err)
+	}
+	return Event{}, io.EOF
 }
 
 // ReadAll drains the stream into a slice.

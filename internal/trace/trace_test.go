@@ -55,6 +55,75 @@ func TestReaderBadJSON(t *testing.T) {
 	}
 }
 
+// TestReaderMalformedInput pins the hardened reader's behavior: malformed
+// or truncated NDJSON yields a line-numbered error, while blank lines and
+// surrounding whitespace are tolerated.
+func TestReaderMalformedInput(t *testing.T) {
+	good := `{"t":1,"activity":"a"}`
+	cases := []struct {
+		name    string
+		input   string
+		events  int    // events successfully read before the error/EOF
+		errLine string // substring the error must contain; "" = clean EOF
+	}{
+		{"empty stream", "", 0, ""},
+		{"only newlines", "\n\n\n", 0, ""},
+		{"blank lines between events", good + "\n\n" + good + "\n", 2, ""},
+		{"leading whitespace", "   " + good + "\n", 1, ""},
+		{"no trailing newline", good, 1, ""},
+		{"partial last line", good + "\n" + `{"t":2,"activ`, 1, "line 2"},
+		{"partial only line", `{"t":1,"ac`, 0, "line 1"},
+		{"bad JSON mid-stream", good + "\n" + "not json\n" + good + "\n", 1, "line 2"},
+		{"wrong type", `{"t":"late","activity":"a"}` + "\n", 0, "line 1"},
+		{"trailing garbage on line", good + ` {"t":2}` + "\n", 0, "line 1"},
+		{"error after blank lines", "\n\n{bad\n", 0, "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(strings.NewReader(tc.input))
+			var got int
+			var err error
+			for {
+				_, err = r.Next()
+				if err != nil {
+					break
+				}
+				got++
+			}
+			if got != tc.events {
+				t.Errorf("read %d events, want %d", got, tc.events)
+			}
+			if tc.errLine == "" {
+				if err != io.EOF {
+					t.Errorf("err = %v, want clean EOF", err)
+				}
+				return
+			}
+			if err == io.EOF {
+				t.Fatalf("want error containing %q, got clean EOF", tc.errLine)
+			}
+			if !strings.Contains(err.Error(), tc.errLine) {
+				t.Errorf("err %q does not name the offending line %q", err, tc.errLine)
+			}
+		})
+	}
+}
+
+// TestReaderTruncatedMarking: a trace cut mid-marking (the common "disk
+// filled up" failure) reports the truncation instead of silently dropping
+// the tail.
+func TestReaderTruncatedMarking(t *testing.T) {
+	full := `{"t":1,"activity":"a","marking":{"execution":1}}`
+	truncated := full + "\n" + full[:len(full)-9]
+	_, err := ReadAll(strings.NewReader(truncated))
+	if err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("unhelpful truncation error: %v", err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	events := []Event{
 		{Time: 1, Activity: "a"},

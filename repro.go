@@ -95,6 +95,11 @@ type Progress = runner.Progress
 // Student-t confidence intervals on the paper's two metrics.
 type Result = runner.Result
 
+// SpanCheck is the self-verification verdict populated in Result.SpanCheck
+// when Options.VerifySpans is set: the reward-based useful-work estimate
+// cross-checked against the independent phase-span accounting.
+type SpanCheck = runner.SpanCheck
+
 // Interval is a symmetric confidence interval.
 type Interval = stats.Interval
 
