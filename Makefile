@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench cover ci figures figures-paper report examples clean
+.PHONY: all build test vet race bench bench-smoke cover ci figures figures-paper report examples clean
 
 all: build vet test
 
@@ -29,7 +29,15 @@ race:
 # the registry primitives themselves.
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/san ./internal/model ./internal/obs
+	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/des ./internal/san ./internal/model ./internal/obs
+
+# Allocation-economy smoke: one iteration of the event-pool and
+# instance-recycle benchmarks, archived as BENCH_5.json via ccbench. Cheap
+# enough for every CI run; the JSON is the artifact regressions are diffed
+# against.
+bench-smoke:
+	$(GO) test -run NONE -bench 'ScheduleFire$$|RecycleVsRebuild' -benchtime=1x -benchmem \
+		./internal/des ./internal/model | $(GO) run ./cmd/ccbench -o BENCH_5.json
 
 # Coverage profile plus a per-package summary (total line last).
 cover:

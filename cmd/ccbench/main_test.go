@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const transcript = `goos: linux
+goarch: amd64
+pkg: repro/internal/des
+cpu: AMD EPYC 7B13
+BenchmarkScheduleFire-8   	24941218	        48.03 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleCancel-8 	18000000	        66.10 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/des	2.511s
+pkg: repro/internal/model
+BenchmarkRecycleVsRebuild/rebuild-8 	     100	  11000000 ns/op	  920000 B/op	   12000 allocs/op
+BenchmarkRecycleVsRebuild/recycle-8 	     120	  10400000 ns/op	 3714600 events/s	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/model	3.001s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("platform headers wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "ScheduleFire" || first.Procs != 8 || first.Pkg != "repro/internal/des" {
+		t.Fatalf("first benchmark wrong: %+v", first)
+	}
+	if first.Iterations != 24941218 || first.Metrics["ns/op"] != 48.03 || first.Metrics["allocs/op"] != 0 {
+		t.Fatalf("first metrics wrong: %+v", first)
+	}
+	recycle := rep.Benchmarks[3]
+	if recycle.Name != "RecycleVsRebuild/recycle" || recycle.Pkg != "repro/internal/model" {
+		t.Fatalf("subbenchmark name wrong: %+v", recycle)
+	}
+	if recycle.Metrics["events/s"] != 3714600 {
+		t.Fatalf("custom metric lost: %+v", recycle.Metrics)
+	}
+}
+
+func TestParseBenchRejectsFailure(t *testing.T) {
+	in := "BenchmarkX-4 10 5.0 ns/op\nFAIL\trepro/internal/des\t0.1s\n"
+	if _, err := parseBench(strings.NewReader(in)); err == nil {
+		t.Fatal("FAIL transcript accepted")
+	}
+}
+
+func TestParseBenchRejectsMalformedLine(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkX-4 notanumber 5.0 ns/op\n",
+		"BenchmarkX-4 10 oops ns/op\n",
+		"BenchmarkX-4 10 5.0\n", // odd field count: unit missing
+	} {
+		if _, err := parseBench(strings.NewReader(in)); err == nil {
+			t.Fatalf("malformed line accepted: %q", in)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-o", path}, strings.NewReader(transcript), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("round-tripped %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+}
+
+func TestRunStdoutAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(transcript), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"ScheduleFire"`) {
+		t.Fatalf("stdout JSON missing benchmark:\n%s", out.String())
+	}
+	if err := run([]string{"-x"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(nil, strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+		t.Fatal("benchmark-free input accepted")
+	}
+}

@@ -137,7 +137,52 @@ func render(s obs.Snapshot, hist *history, addr string, width int) string {
 		fmt.Fprintf(&sb, "\nreplication wall time  p50 %.2fs  p90 %.2fs  p99 %.2fs  (n=%d)\n",
 			wall.P50, wall.P90, wall.P99, wall.Count)
 	}
+	if line := memLine(s); line != "" {
+		sb.WriteString(line)
+	}
 	return sb.String()
+}
+
+// memLine renders the allocation-economy lines: model instances built vs
+// recycled, event-pool hit rate, and the GC gauges from obs.RecordMemStats.
+// Empty when the run predates these metrics (no runner.instance_* counters
+// and no runtime.* gauges), so old endpoints still render.
+func memLine(s obs.Snapshot) string {
+	var sb strings.Builder
+	builds := s.Counters["runner.instance_builds"]
+	recycles := s.Counters["runner.instance_recycles"]
+	if builds+recycles > 0 {
+		fmt.Fprintf(&sb, "\ninstances     %d built, %d recycled", builds, recycles)
+		hits, misses := s.Counters["des.pool_hits"], s.Counters["des.pool_misses"]
+		if hits+misses > 0 {
+			fmt.Fprintf(&sb, "  ·  event pool %.1f%% hit", 100*float64(hits)/float64(hits+misses))
+		}
+		sb.WriteByte('\n')
+	}
+	if heap, ok := s.Gauges["runtime.heap_live_bytes"]; ok {
+		fmt.Fprintf(&sb, "heap          %s live", formatBytes(heap))
+		if objs, ok := s.Gauges["runtime.heap_objects"]; ok {
+			fmt.Fprintf(&sb, " (%s objects)", groupDigits(uint64(objs)))
+		}
+		fmt.Fprintf(&sb, "  ·  %d GCs, %.1fms paused",
+			s.Gauges["runtime.gc_count"], 1000*s.FloatGauges["runtime.gc_pause_total_s"])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// formatBytes renders a byte count with a binary-prefix unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // phaseBars renders the phase.hours.* histograms as a horizontal bar chart

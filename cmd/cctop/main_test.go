@@ -24,6 +24,11 @@ func liveRegistry() *obs.Registry {
 		reg.Histogram("phase.hours."+phase, obs.ExpBuckets(0.25, 2, 16)).Observe(hours)
 	}
 	reg.Timer("runner.replication_wall_s").Observe(1500 * time.Millisecond)
+	reg.Counter("runner.instance_builds").Add(2)
+	reg.Counter("runner.instance_recycles").Add(6)
+	reg.Counter("des.pool_hits").Add(990)
+	reg.Counter("des.pool_misses").Add(10)
+	obs.RecordMemStats(reg)
 	return reg
 }
 
@@ -45,6 +50,9 @@ func TestRenderFrame(t *testing.T) {
 		"rollbacks    3",
 		"replication wall time",
 		"p50", "p99",
+		"instances     2 built, 6 recycled",
+		"event pool 99.0% hit",
+		"heap          ", "GCs",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("frame missing %q:\n%s", want, out)
@@ -77,6 +85,27 @@ func TestRenderWithoutPhaseMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out, "1 done") {
 		t.Fatalf("replication count missing:\n%s", out)
+	}
+	// A run predating the allocation-economy metrics renders no heap or
+	// instance lines.
+	if strings.Contains(out, "instances") || strings.Contains(out, "heap") {
+		t.Fatalf("memory section rendered without its metrics:\n%s", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:                "512 B",
+		2048:               "2.0 KiB",
+		3 << 20:            "3.00 MiB",
+		5 << 30:            "5.00 GiB",
+		36700160:           "35.00 MiB",
+		int64(1)<<10 + 512: "1.5 KiB",
+	}
+	for n, want := range cases {
+		if got := formatBytes(n); got != want {
+			t.Errorf("formatBytes(%d) = %q, want %q", n, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,54 @@
+package des
+
+import "testing"
+
+// BenchmarkScheduleFire measures the pooled schedule→fire round trip on a
+// warmed engine — the per-event floor under every trajectory. The interesting
+// numbers are ns/op and allocs/op (which must be 0; TestScheduleFireZeroAlloc
+// gates it, this benchmark trends it).
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	for i := 0; i < 64; i++ {
+		e.ScheduleAfter(1, "warm", noopHandler)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(1, "hot", noopHandler)
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkScheduleCancel measures the other pool edge: schedule then
+// cancel, the reconcile path's cost when an activity is disabled before
+// firing.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New()
+	for i := 0; i < 64; i++ {
+		e.ScheduleAfter(1, "warm", noopHandler)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.ScheduleAfter(1, "hot", noopHandler)
+		e.Cancel(h)
+	}
+}
+
+// BenchmarkScheduleFireDepth measures schedule→fire with a standing queue of
+// 1024 events, so the sift cost at realistic queue depths is visible.
+func BenchmarkScheduleFireDepth(b *testing.B) {
+	e := New()
+	for i := 0; i < 1024; i++ {
+		e.ScheduleAfter(1e9, "standing", noopHandler)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(1, "hot", noopHandler)
+		e.Step()
+	}
+}

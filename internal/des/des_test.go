@@ -73,9 +73,9 @@ func TestCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("event does not report cancelled")
 	}
-	// Double cancel and nil cancel must be no-ops.
+	// Double cancel and zero-handle cancel must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 }
 
 // TestFiredEventIsNotCancelled is the regression test for the historic
@@ -116,7 +116,7 @@ func TestFiredEventIsNotCancelled(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var fired []string
-	evs := make([]*Event, 0, 20)
+	evs := make([]Handle, 0, 20)
 	for i := 0; i < 20; i++ {
 		name := string(rune('a' + i))
 		evs = append(evs, e.Schedule(float64(i), name, func(e *Engine) { fired = append(fired, name) }))
@@ -204,7 +204,7 @@ func TestHeapProperty(t *testing.T) {
 		src := rng.New(seed)
 		e := New()
 		var fired []float64
-		var evs []*Event
+		var evs []Handle
 		n := src.Intn(200) + 1
 		for i := 0; i < n; i++ {
 			tm := src.Float64() * 100

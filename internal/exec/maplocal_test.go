@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerIndexOutsidePool(t *testing.T) {
+	if w := WorkerIndex(context.Background()); w != 0 {
+		t.Fatalf("WorkerIndex outside a pool = %d, want 0", w)
+	}
+}
+
+func TestWorkerIndexInRange(t *testing.T) {
+	const workers, n = 4, 64
+	seen := make([]int64, n)
+	_, err := Map(context.Background(), Pool{Workers: workers}, n, func(ctx context.Context, i int) (struct{}, error) {
+		seen[i] = int64(WorkerIndex(ctx))
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range seen {
+		if w < 0 || w >= workers {
+			t.Fatalf("job %d saw worker index %d, want [0,%d)", i, w, workers)
+		}
+	}
+}
+
+// TestMapLocalSequentialSharesOneState pins the zero-value contract: a
+// sequential pool builds exactly one state and every job receives it.
+func TestMapLocalSequentialSharesOneState(t *testing.T) {
+	var created int32
+	type state struct{ id int32 }
+	out, err := MapLocal(context.Background(), Pool{}, 8,
+		func() *state { return &state{id: atomic.AddInt32(&created, 1)} },
+		func(_ context.Context, s *state, i int) (*state, error) { return s, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created != 1 {
+		t.Fatalf("sequential MapLocal built %d states, want 1", created)
+	}
+	for i, s := range out {
+		if s != out[0] {
+			t.Fatalf("job %d got a different state than job 0", i)
+		}
+	}
+}
+
+// TestMapLocalStatesBoundedByWorkers is the resource contract the runner's
+// instance cache relies on: at most Workers states are ever built, no
+// matter how many jobs run, and every job of a given worker reuses that
+// worker's state.
+func TestMapLocalStatesBoundedByWorkers(t *testing.T) {
+	const workers, n = 3, 48
+	var created int32
+	type state struct{ jobs int }
+	var mu sync.Mutex
+	states := make(map[*state]bool)
+	_, err := MapLocal(context.Background(), Pool{Workers: workers}, n,
+		func() *state { atomic.AddInt32(&created, 1); return &state{} },
+		func(_ context.Context, s *state, i int) (int, error) {
+			s.jobs++ // safe: one worker owns s
+			mu.Lock()
+			states[s] = true
+			mu.Unlock()
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created < 1 || created > workers {
+		t.Fatalf("built %d states for %d workers", created, workers)
+	}
+	total := 0
+	for s := range states {
+		total += s.jobs
+	}
+	if total != n {
+		t.Fatalf("states saw %d jobs in total, want %d", total, n)
+	}
+}
+
+func TestMapLocalPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapLocal(context.Background(), Pool{Workers: 2}, 4,
+		func() int { return 0 },
+		func(_ context.Context, _ int, i int) (int, error) {
+			if i == 1 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMapLocalEmpty(t *testing.T) {
+	called := false
+	out, err := MapLocal(context.Background(), Pool{Workers: 4}, 0,
+		func() int { called = true; return 0 },
+		func(_ context.Context, _ int, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || called {
+		t.Fatalf("empty MapLocal: out=%v, mk called=%v", out, called)
+	}
+}
+
+// TestMapLocalDeterministicAcrossWorkerCounts mirrors the runner's
+// worker-invariance property at the exec layer: when jobs derive results
+// only from their index (never from worker-local state), the output is
+// identical at any worker count.
+func TestMapLocalDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := MapLocal(context.Background(), Pool{Workers: workers}, 32,
+			func() *int { return new(int) },
+			func(_ context.Context, scratch *int, i int) (int, error) {
+				*scratch += i // worker-local accumulation must not leak
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d]=%d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/phasetrace"
 	"repro/internal/rng"
 	"repro/internal/san"
 	"repro/internal/stats"
@@ -16,7 +17,7 @@ type Instance struct {
 	mod *san.Model
 	sim *san.Simulator
 	pl  *places
-	src rng.Source
+	src *rng.Stream // concrete so Recycle can Reseed in place
 
 	// Coordination delay distribution (Section 5 / Section 7.2 modes).
 	coordDist rng.Dist
@@ -39,6 +40,13 @@ type Instance struct {
 	lossStats stats.Accumulator
 
 	counters Counters
+
+	// Phase recording indirection: the simulator's firing hooks cannot be
+	// removed, so the instance installs a single forwarding hook the first
+	// time AttachPhases is called and swaps the recorder behind it. Recycle
+	// clears phaseRec, detaching recording without touching the hook list.
+	phaseRec  *phasetrace.Recorder
+	phaseHook bool
 }
 
 // Counters tallies discrete events of one trajectory.

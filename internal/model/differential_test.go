@@ -35,10 +35,13 @@ func collectTrajectory(t *testing.T, cfg cluster.Config, seed uint64, fullScan b
 	return events, mt
 }
 
-// differentialConfigs are the model configurations the incremental
-// scheduler is checked against the full scan on: the paper's base model
-// plus the modes that exercise every structural variant of the net
-// (max-of-n coordination, timeouts with aborts, error propagation).
+// differentialConfigs are the model configurations the differential suites
+// run on — the incremental-vs-fullscan comparison and the recycle-vs-fresh
+// comparison both iterate them. The six variants exercise every structural
+// variant of the net: the paper's base model, max-of-n coordination,
+// timeouts with aborts, error propagation, the blocking-write ablation
+// (fsWait path and its resume instantaneous activity), and incremental
+// checkpointing (the incrSeq place and size-scaled dumps).
 func differentialConfigs() map[string]cluster.Config {
 	base := cluster.Default()
 
@@ -53,11 +56,20 @@ func differentialConfigs() map[string]cluster.Config {
 	errProp.ProbCorrelated = 0.3
 	errProp.CorrelatedFactor = 400
 
+	blocking := cluster.Default()
+	blocking.BlockingCheckpointWrite = true
+
+	incr := cluster.Default()
+	incr.IncrementalFraction = 0.2
+	incr.FullCheckpointEvery = 4
+
 	return map[string]cluster.Config{
 		"base":              base,
 		"max-of-n":          maxOfN,
 		"timeout":           timeout,
 		"error-propagation": errProp,
+		"blocking-write":    blocking,
+		"incremental-ckpt":  incr,
 	}
 }
 
@@ -130,5 +142,47 @@ func TestErrorPropagationConfigOpensWindows(t *testing.T) {
 	in.Advance(4000)
 	if in.Counters().CorrWindows == 0 {
 		t.Fatal("error-propagation config opened no correlated windows; differential coverage lost")
+	}
+}
+
+// TestBlockingWriteConfigWaits guards the blocking-write differential
+// config: the compute nodes must actually spend time blocked on the
+// file-system write (the fsWait place and resume_after_fs_write activity).
+func TestBlockingWriteConfigWaits(t *testing.T) {
+	cfg := differentialConfigs()["blocking-write"]
+	in, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := in.RunSteadyState(100, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Breakdown.FSWait == 0 {
+		t.Fatal("blocking-write config spent no time in fsWait; differential coverage lost")
+	}
+}
+
+// TestIncrementalCkptConfigCycles guards the incremental-checkpoint
+// differential config: dumps must actually alternate full and incremental
+// (the incrSeq place advances past zero).
+func TestIncrementalCkptConfigCycles(t *testing.T) {
+	cfg := differentialConfigs()["incremental-ckpt"]
+	in, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeq := 0
+	in.SetTrace(func(_ float64, _ string, mk map[string]int) {
+		if s := mk["incr_seq"]; s > maxSeq {
+			maxSeq = s
+		}
+	}, true)
+	in.Advance(2000)
+	if in.Counters().CheckpointsDumped < uint64(cfg.FullCheckpointEvery) {
+		t.Fatalf("only %d dumps in the window; incremental cycle not exercised", in.Counters().CheckpointsDumped)
+	}
+	if maxSeq == 0 {
+		t.Fatal("incr_seq never advanced; incremental dumps not exercised")
 	}
 }

@@ -1,0 +1,29 @@
+package obs
+
+import "runtime"
+
+// RecordMemStats publishes runtime.MemStats-derived GC telemetry into the
+// registry as gauges:
+//
+//	runtime.heap_live_bytes   bytes of live heap objects (HeapAlloc)
+//	runtime.heap_objects      count of live heap objects
+//	runtime.gc_count          completed GC cycles since process start
+//	runtime.gc_pause_total_s  cumulative stop-the-world pause time
+//	runtime.gc_cpu_fraction   fraction of CPU time spent in GC
+//
+// The runner calls it once per estimate — ReadMemStats stops the world, so
+// it must never sit inside the replication hot loop. With the pooled event
+// engine and recycled model instances these gauges stay flat across
+// estimates, which is exactly what the cctop GC line is there to show.
+func RecordMemStats(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime.heap_live_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime.heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("runtime.gc_count").Set(int64(ms.NumGC))
+	r.FloatGauge("runtime.gc_pause_total_s").Set(float64(ms.PauseTotalNs) / 1e9)
+	r.FloatGauge("runtime.gc_cpu_fraction").Set(ms.GCCPUFraction)
+}

@@ -1,0 +1,32 @@
+package rng
+
+import "testing"
+
+// TestReseedMatchesNew pins the contract Recycle relies on: after any amount
+// of use (including splitting), Reseed(s) rewinds a stream to exactly the
+// sequence New(s) emits.
+func TestReseedMatchesNew(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		st := New(99)
+		for i := 0; i < 1000; i++ {
+			st.Uint64()
+		}
+		st.Split(7) // consuming via Split must not matter either
+		st.Reseed(seed)
+		want := New(seed)
+		for i := 0; i < 100; i++ {
+			if got, w := st.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("seed %d: value %d is %#x after Reseed, %#x from New", seed, i, got, w)
+			}
+		}
+	}
+}
+
+// TestReseedZeroAlloc: reseeding must not allocate — it runs once per
+// recycled replication inside the runner's zero-allocation window.
+func TestReseedZeroAlloc(t *testing.T) {
+	st := New(1)
+	if avg := testing.AllocsPerRun(100, func() { st.Reseed(5) }); avg != 0 {
+		t.Errorf("Reseed allocates %.1f objects, want 0", avg)
+	}
+}

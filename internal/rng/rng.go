@@ -36,16 +36,23 @@ var _ Source = (*Stream)(nil)
 // Any seed, including zero, produces a valid stream.
 func New(seed uint64) *Stream {
 	var st Stream
+	st.Reseed(seed)
+	return &st
+}
+
+// Reseed rewinds the stream in place to exactly the state New(seed) would
+// return, so a recycled component (model.Instance.Recycle) can restart its
+// random sequence for a new replication without allocating a generator.
+func (r *Stream) Reseed(seed uint64) {
 	sm := seed
-	for i := range st.s {
-		sm, st.s[i] = splitMix64(sm)
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
 	}
 	// xoshiro's state must not be all zero; SplitMix64 cannot produce
 	// four consecutive zeros, but guard anyway for defence in depth.
-	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
-		st.s[0] = 0x9e3779b97f4a7c15
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &st
 }
 
 // splitMix64 advances a SplitMix64 state and returns (nextState, output).

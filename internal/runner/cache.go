@@ -1,0 +1,42 @@
+package runner
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// instanceCache is the per-worker model cache behind Estimate and Compare:
+// each exec worker builds an Instance once per configuration and recycles
+// it for every subsequent replication it claims, so the SAN graph, the
+// dependency index and the engine's event pool are constructed once per
+// worker instead of once per replication. cluster.Config is a comparable
+// value type of plain scalars, so it keys the map directly.
+//
+// The cache never influences results: Instance.Recycle is pinned
+// bit-identical to a fresh build (model's TestRecycleMatchesFreshBuild),
+// and seeds are pre-assigned per replication, so which worker — and
+// therefore which cached instance — runs a replication is invisible in
+// every output. The runner's worker-invariance tests cover exactly this.
+// Caches are worker-local (created via exec.MapLocal), so no locking.
+type instanceCache struct {
+	byCfg map[cluster.Config]*model.Instance
+}
+
+func newInstanceCache() *instanceCache {
+	return &instanceCache{byCfg: make(map[cluster.Config]*model.Instance)}
+}
+
+// instance returns an instance of cfg rewound to seed, recycling a cached
+// one when the worker has built this configuration before.
+func (c *instanceCache) instance(cfg cluster.Config, seed uint64) (in *model.Instance, recycled bool, err error) {
+	if in, ok := c.byCfg[cfg]; ok {
+		in.Recycle(seed)
+		return in, true, nil
+	}
+	in, err = model.New(cfg, seed)
+	if err != nil {
+		return nil, false, err
+	}
+	c.byCfg[cfg] = in
+	return in, false, nil
+}

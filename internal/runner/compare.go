@@ -69,14 +69,17 @@ func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Com
 	seeds := replicationSeeds(opts.Seed, opts.Replications)
 	type pair struct{ a, b model.Metrics }
 	var events atomic.Uint64
-	pairs, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
-		func(_ context.Context, r int) (pair, error) {
-			oa, err := runOne(a, seeds[r], opts)
+	// One cache per worker covers both configurations: a worker holds at
+	// most one A instance and one B instance and recycles them pair after
+	// pair.
+	pairs, err := exec.MapLocal(ctx, pool(opts, &events), opts.Replications, newInstanceCache,
+		func(_ context.Context, cache *instanceCache, r int) (pair, error) {
+			oa, err := runOne(a, seeds[r], opts, cache)
 			events.Add(oa.fired)
 			if err != nil {
 				return pair{}, err
 			}
-			ob, err := runOne(b, seeds[r], opts)
+			ob, err := runOne(b, seeds[r], opts, cache)
 			events.Add(ob.fired)
 			if err != nil {
 				return pair{}, err
@@ -129,15 +132,23 @@ type repOut struct {
 	rollbacks int
 }
 
-// runOne simulates one trajectory. When telemetry is requested it attaches
-// a fresh obs.Shard to the instance (one shard per replication, owned by
-// whichever pool worker runs it), flushes the engine counters at the end,
-// snapshots the shard for the journal and merges it into the registry.
-// Journal-only runs (Journal set, Metrics nil) instrument into a throwaway
-// registry so the snapshot exists without polluting anyone's metrics.
-func runOne(cfg cluster.Config, seed uint64, opts Options) (repOut, error) {
+// runOne simulates one trajectory on an instance from the worker's cache
+// (built on first use, recycled after). When telemetry is requested it
+// attaches a fresh obs.Shard to the instance (one shard per replication,
+// owned by whichever pool worker runs it), flushes the engine counters at
+// the end, snapshots the shard for the journal and merges it into the
+// registry. Journal-only runs (Journal set, Metrics nil) instrument into a
+// throwaway registry so the snapshot exists without polluting anyone's
+// metrics.
+//
+// Cache telemetry (instance builds/recycles, event-pool hits/misses) goes
+// to the registry only, never into the shard: the shard snapshot lands in
+// the journal, whose bytes are pinned identical across worker counts, and
+// whether an instance was fresh or recycled depends on how many workers
+// split the replications.
+func runOne(cfg cluster.Config, seed uint64, opts Options, cache *instanceCache) (repOut, error) {
 	start := time.Now()
-	in, err := model.New(cfg, seed)
+	in, recycled, err := cache.instance(cfg, seed)
 	if err != nil {
 		return repOut{}, err
 	}
@@ -188,6 +199,15 @@ func runOne(cfg cluster.Config, seed uint64, opts Options) (repOut, error) {
 		reg.Counter("runner.replications").Inc()
 		reg.Counter("runner.events").Add(out.fired)
 		reg.Timer("runner.replication_wall_s").Observe(out.wall)
+		if recycled {
+			reg.Counter("runner.instance_recycles").Inc()
+		} else {
+			reg.Counter("runner.instance_builds").Inc()
+		}
+		hits, misses, size := in.PoolStats()
+		reg.Counter("des.pool_hits").Add(hits)
+		reg.Counter("des.pool_misses").Add(misses)
+		reg.Gauge("des.pool_size").Set(int64(size))
 	}
 	return out, err
 }

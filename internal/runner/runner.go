@@ -200,9 +200,13 @@ func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Res
 	seeds := replicationSeeds(opts.Seed, opts.Replications)
 	start := time.Now()
 	var events atomic.Uint64
-	outs, err := exec.Map(ctx, pool(opts, &events), opts.Replications,
-		func(_ context.Context, r int) (repOut, error) {
-			o, err := runOne(cfg, seeds[r], opts)
+	// Each worker carries one instance cache: the model is built on the
+	// worker's first replication and recycled for the rest (zero-allocation
+	// hot loop; see internal/runner/cache.go for why this cannot affect
+	// results).
+	outs, err := exec.MapLocal(ctx, pool(opts, &events), opts.Replications, newInstanceCache,
+		func(_ context.Context, cache *instanceCache, r int) (repOut, error) {
+			o, err := runOne(cfg, seeds[r], opts, cache)
 			events.Add(o.fired)
 			return o, err
 		})
@@ -245,6 +249,9 @@ func recordEstimate(opts Options, outs []repOut, res Result, elapsed time.Durati
 	if hw := res.UsefulWorkFraction.HalfWide; !math.IsInf(hw, 0) && !math.IsNaN(hw) {
 		reg.FloatGauge("runner.ci_half_width").Set(hw)
 	}
+	// GC pressure of the estimate just completed — with the pooled engine
+	// and recycled instances the heap numbers stay flat across estimates.
+	obs.RecordMemStats(reg)
 }
 
 // writeJournal emits one "replication" record per trajectory plus the

@@ -143,7 +143,7 @@ type Simulator struct {
 	eng   *des.Engine
 
 	marking   *Marking
-	scheduled []*des.Event        // per-activity pending event (nil when disabled)
+	scheduled []des.Handle        // per-activity pending event (zero when disabled)
 	enabled   []bool              // timed activities: scheduled at last reconcile
 	instOn    []bool              // instantaneous activities: cached input-gate truth
 	handlers  []func(*des.Engine) // per-activity firing handlers, built once
@@ -251,6 +251,14 @@ func (s *Simulator) FlushEngineStats() {
 	st.engCancelled.Add(s.eng.Cancelled())
 }
 
+// PoolStats exposes the engine's event-pool telemetry: Schedule calls
+// served from the free list, Schedule calls that allocated a fresh event,
+// and the number of events currently pooled. Hits and misses rewind on
+// Reset, so after a reset they describe the current trajectory only.
+func (s *Simulator) PoolStats() (hits, misses uint64, size int) {
+	return s.eng.PoolHits(), s.eng.PoolMisses(), s.eng.PoolSize()
+}
+
 // NewSimulator validates the model (building its dependency index) and
 // prepares an executor with the given random source.
 func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
@@ -273,7 +281,7 @@ func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
 		}
 		a := a
 		s.handlers[a.index] = func(*des.Engine) {
-			s.scheduled[a.index] = nil
+			s.scheduled[a.index] = des.Handle{}
 			s.enabled[a.index] = false
 			s.firedAct = a.index
 			s.fire(a)
@@ -288,26 +296,47 @@ func NewSimulator(model *Model, src rng.Source) (*Simulator, error) {
 // and rewinds the clock to zero. The random source is NOT reset, so
 // consecutive trajectories are independent. The model's dependency index
 // and the rewards' declared read-sets are retained — only trajectory state
-// is rebuilt.
+// is rewound, in place: the marking, the engine (whose event pool and queue
+// storage survive via des.Engine.Reset), and the per-activity caches are
+// reused, so a reset trajectory reaches steady state without allocating.
+// Trajectories on a reset simulator are bit-identical to ones on a freshly
+// built simulator fed the same random stream: the engine restarts its FIFO
+// sequence numbers, every place starts dirty so the initial settle
+// reconciles in creation order, and the dedup generations (marking.gen,
+// actGen, rateGen) only ever need to be distinct, not equal.
 func (s *Simulator) Reset() {
 	n := len(s.model.places)
-	tokens := make([]int, n)
-	for _, p := range s.model.places {
-		tokens[p.index] = p.Initial
+	nActs := len(s.model.activities)
+	if s.marking == nil { // first construction
+		s.marking = &Marking{tokens: make([]int, n), stamp: make([]uint64, n), model: s.model}
+		s.eng = des.New()
+		s.scheduled = make([]des.Handle, nActs)
+		s.enabled = make([]bool, nActs)
+		s.instOn = make([]bool, nActs)
+	} else {
+		s.eng.Reset()
+		for i := range s.scheduled {
+			s.scheduled[i] = des.Handle{}
+		}
+		for i := range s.enabled {
+			s.enabled[i] = false
+		}
+		for i := range s.instOn {
+			s.instOn[i] = false
+		}
 	}
-	m := &Marking{tokens: tokens, stamp: make([]uint64, n), gen: 1, model: s.model}
+	m := s.marking
+	m.gen++
+	m.dirty = m.dirty[:0]
+	m.log = m.log[:0]
 	// Every place starts dirty so the first settle performs the initial
 	// reconciliation through the same incremental path as any other.
-	for i := 0; i < n; i++ {
-		m.stamp[i] = m.gen
-		m.dirty = append(m.dirty, int32(i))
-		m.log = append(m.log, int32(i))
+	for _, p := range s.model.places {
+		m.tokens[p.index] = p.Initial
+		m.stamp[p.index] = m.gen
+		m.dirty = append(m.dirty, int32(p.index))
+		m.log = append(m.log, int32(p.index))
 	}
-	s.marking = m
-	s.eng = des.New()
-	s.scheduled = make([]*des.Event, len(s.model.activities))
-	s.enabled = make([]bool, len(s.model.activities))
-	s.instOn = make([]bool, len(s.model.activities))
 	s.instCursor = 0
 	s.firedAct = -1
 	for _, hooks := range s.impulses {
@@ -569,7 +598,7 @@ func (s *Simulator) reconcileOne(a *Activity) {
 		s.schedule(a)
 	case !on && was:
 		s.eng.Cancel(s.scheduled[a.index])
-		s.scheduled[a.index] = nil
+		s.scheduled[a.index] = des.Handle{}
 		s.enabled[a.index] = false
 	case on && was && s.touched(a):
 		s.eng.Cancel(s.scheduled[a.index])
