@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke cover ci figures figures-paper report examples clean
+.PHONY: all build test vet race bench bench-smoke cover ci validate-scenarios figures figures-paper report examples clean
 
 all: build vet test
 
@@ -46,9 +46,19 @@ cover:
 	@echo "per-function detail: $(GO) tool cover -func=coverage.out"
 	@echo "HTML report:         $(GO) tool cover -html=coverage.out"
 
+# Scenario-catalog gate: every scenario (built-in catalog plus the
+# registry plumbing) must parse, validate, convert to a model
+# configuration, and complete a deterministic smoke run inside its
+# expected useful-work band, and the registry-built configurations must
+# stay bit-identical to the hand-built differential ones.
+validate-scenarios:
+	$(GO) test -run 'TestBuiltinCatalog|TestSmokeRunEveryScenario' ./internal/scenario
+	$(GO) test -run 'TestScenarioRegistryPinsVariants' ./internal/model
+
 # Everything the GitHub Actions workflow runs (.github/workflows/ci.yml),
-# locally: the tier-1 suite, the race tier, and the coverage profile.
-ci: all race cover
+# locally: the tier-1 suite, the race tier, the coverage profile, and the
+# scenario-catalog gate.
+ci: all race cover validate-scenarios
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

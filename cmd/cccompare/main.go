@@ -1,10 +1,11 @@
-// Command cccompare estimates two JSON-configured systems with common
-// random numbers and reports the paired difference of their useful-work
-// metrics — the statistically sound way to answer "is B better than A?"
-// for a single design or parameter change.
+// Command cccompare estimates two systems with common random numbers and
+// reports the paired difference of their useful-work metrics — the
+// statistically sound way to answer "is B better than A?" for a single
+// design or parameter change. Each side is either a JSON configuration
+// file or a named scenario from the catalog (see -list-scenarios).
 //
 //	cccompare -a base.json -b candidate.json
-//	cccompare -a base.json -b candidate.json -reps 10
+//	cccompare -a base -b migration -reps 10
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/configio"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -27,24 +29,33 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cccompare", flag.ContinueOnError)
 	var (
-		aPath   = fs.String("a", "", "baseline JSON configuration (required)")
-		bPath   = fs.String("b", "", "candidate JSON configuration (required)")
-		reps    = fs.Int("reps", 5, "paired replications")
-		warmup  = fs.Float64("warmup", 300, "transient hours to discard")
-		measure = fs.Float64("measure", 1500, "measured hours per replication")
-		seed    = fs.Uint64("seed", 1, "root random seed (shared by both systems)")
+		aPath         = fs.String("a", "", "baseline: JSON configuration file or scenario name (required)")
+		bPath         = fs.String("b", "", "candidate: JSON configuration file or scenario name (required)")
+		scenarioDir   = fs.String("scenario-dir", "", "directory of scenario files extending/overriding the built-in catalog")
+		listScenarios = fs.Bool("list-scenarios", false, "list the scenario catalog and exit")
+		reps          = fs.Int("reps", 5, "paired replications")
+		warmup        = fs.Float64("warmup", 300, "transient hours to discard")
+		measure       = fs.Float64("measure", 1500, "measured hours per replication")
+		seed          = fs.Uint64("seed", 1, "root random seed (shared by both systems)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg, err := scenario.Resolve(*scenarioDir)
+	if err != nil {
+		return err
+	}
+	if *listScenarios {
+		return reg.WriteList(stdout)
+	}
 	if *aPath == "" || *bPath == "" {
 		return fmt.Errorf("both -a and -b are required")
 	}
-	a, err := loadConfig(*aPath)
+	a, err := loadConfig(reg, *aPath)
 	if err != nil {
 		return fmt.Errorf("config A: %w", err)
 	}
-	b, err := loadConfig(*bPath)
+	b, err := loadConfig(reg, *bPath)
 	if err != nil {
 		return fmt.Errorf("config B: %w", err)
 	}
@@ -69,12 +80,18 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// loadConfig reads one JSON configuration file.
-func loadConfig(path string) (repro.Config, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return repro.Config{}, err
+// loadConfig resolves one side of the comparison: an existing file is
+// loaded as a JSON configuration; anything else is looked up in the
+// scenario catalog. A name that is neither reports both failures.
+func loadConfig(reg *scenario.Registry, ref string) (repro.Config, error) {
+	f, err := os.Open(ref)
+	if err == nil {
+		defer f.Close()
+		return configio.Load(f)
 	}
-	defer f.Close()
-	return configio.Load(f)
+	s, serr := reg.Get(ref)
+	if serr != nil {
+		return repro.Config{}, fmt.Errorf("%q is neither a readable file (%v) nor a scenario (%v)", ref, err, serr)
+	}
+	return s.ClusterConfig()
 }

@@ -76,3 +76,36 @@ func TestCompareErrors(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestCompareScenarioNames(t *testing.T) {
+	// Sides can name catalog scenarios instead of files; migration on top
+	// of base absorbs most failures, so B must come out better.
+	var out bytes.Buffer
+	err := run([]string{"-a", "base", "-b", "migration", "-reps", "3", "-warmup", "50", "-measure", "500"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "B is significantly better") {
+		t.Fatalf("migration not detected as better:\n%s", out.String())
+	}
+}
+
+func TestCompareListScenarios(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"base", "migration", "adaptive-interval"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareBadReference(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-a", "base", "-b", "no-such-thing"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no-such-thing") {
+		t.Fatalf("want resolution error, got %v", err)
+	}
+}

@@ -91,3 +91,30 @@ func TestFiguresChart(t *testing.T) {
 		t.Fatalf("chart output missing:\n%s", out)
 	}
 }
+
+func TestFiguresScenarioSweep(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-scenario", "weibull-field", "-reps", "1", "-warmup", "10", "-measure", "60",
+		"-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scenario-weibull-field.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"scenario-weibull-field", "Weibull", "useful work fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFiguresListScenarios(t *testing.T) {
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+}

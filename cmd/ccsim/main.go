@@ -15,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/configio"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -27,36 +28,59 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ccsim", flag.ContinueOnError)
 	var (
-		configPath   = fs.String("config", "", "JSON configuration file (flags given explicitly override it)")
-		procs        = fs.Int("procs", 65536, "total compute processors")
-		procsPerNode = fs.Int("procs-per-node", 8, "processors per node")
-		mttfYears    = fs.Float64("mttf-years", 1, "per-node MTTF in years")
-		mttrMin      = fs.Float64("mttr-min", 10, "system MTTR in minutes")
-		intervalMin  = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
-		mttqSec      = fs.Float64("mttq-sec", 10, "per-node mean time to quiesce in seconds")
-		timeoutSec   = fs.Float64("timeout-sec", 0, "coordination timeout in seconds (0 = none)")
-		coordination = fs.String("coordination", "fixed", "coordination mode: fixed, none, max-of-n")
-		pe           = fs.Float64("pe", 0, "probability of correlated failure (error propagation)")
-		rFactor      = fs.Float64("r", 0, "correlated failure rate factor")
-		alpha        = fs.Float64("alpha", 0, "generic correlated failure coefficient")
-		reps         = fs.Int("reps", 5, "independent replications")
-		warmup       = fs.Float64("warmup", 1000, "transient hours to discard")
-		measure      = fs.Float64("measure", 4000, "measured hours per replication")
-		seed         = fs.Uint64("seed", 1, "root random seed")
-		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent replications (1 = sequential; results are identical for any value)")
-		progress     = fs.Bool("progress", false, "stream replication progress to stderr")
-		verbose      = fs.Bool("v", false, "print per-replication metrics")
-		journalPath  = fs.String("journal", "", "write a JSONL run journal (one record per replication plus the estimate) to this file")
-		metrics      = fs.Bool("metrics", false, "print the collected telemetry table after the results")
-		verifySpans  = fs.Bool("verify-spans", false, "cross-check the reward-based estimate against phase-span accounting and print the verdict")
-		debugAddr    = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the run (e.g. localhost:6060)")
+		configPath    = fs.String("config", "", "JSON configuration file (flags given explicitly override it)")
+		scenarioName  = fs.String("scenario", "", "named scenario from the catalog (see -list-scenarios; flags given explicitly override it)")
+		scenarioDir   = fs.String("scenario-dir", "", "directory of scenario files extending/overriding the built-in catalog")
+		listScenarios = fs.Bool("list-scenarios", false, "list the scenario catalog and exit")
+		procs         = fs.Int("procs", 65536, "total compute processors")
+		procsPerNode  = fs.Int("procs-per-node", 8, "processors per node")
+		mttfYears     = fs.Float64("mttf-years", 1, "per-node MTTF in years")
+		mttrMin       = fs.Float64("mttr-min", 10, "system MTTR in minutes")
+		intervalMin   = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
+		mttqSec       = fs.Float64("mttq-sec", 10, "per-node mean time to quiesce in seconds")
+		timeoutSec    = fs.Float64("timeout-sec", 0, "coordination timeout in seconds (0 = none)")
+		coordination  = fs.String("coordination", "fixed", "coordination mode: fixed, none, max-of-n")
+		pe            = fs.Float64("pe", 0, "probability of correlated failure (error propagation)")
+		rFactor       = fs.Float64("r", 0, "correlated failure rate factor")
+		alpha         = fs.Float64("alpha", 0, "generic correlated failure coefficient")
+		reps          = fs.Int("reps", 5, "independent replications")
+		warmup        = fs.Float64("warmup", 1000, "transient hours to discard")
+		measure       = fs.Float64("measure", 4000, "measured hours per replication")
+		seed          = fs.Uint64("seed", 1, "root random seed")
+		workers       = fs.Int("workers", runtime.NumCPU(), "concurrent replications (1 = sequential; results are identical for any value)")
+		progress      = fs.Bool("progress", false, "stream replication progress to stderr")
+		verbose       = fs.Bool("v", false, "print per-replication metrics")
+		journalPath   = fs.String("journal", "", "write a JSONL run journal (one record per replication plus the estimate) to this file")
+		metrics       = fs.Bool("metrics", false, "print the collected telemetry table after the results")
+		verifySpans   = fs.Bool("verify-spans", false, "cross-check the reward-based estimate against phase-span accounting and print the verdict")
+		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the run (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	catalog, err := scenario.Resolve(*scenarioDir)
+	if err != nil {
+		return err
+	}
+	if *listScenarios {
+		return catalog.WriteList(os.Stdout)
+	}
+	if *scenarioName != "" && *configPath != "" {
+		return fmt.Errorf("-scenario and -config are mutually exclusive")
+	}
+
 	cfg := repro.DefaultConfig()
-	if *configPath != "" {
+	switch {
+	case *scenarioName != "":
+		s, err := catalog.Get(*scenarioName)
+		if err != nil {
+			return err
+		}
+		if cfg, err = s.ClusterConfig(); err != nil {
+			return err
+		}
+	case *configPath != "":
 		f, err := os.Open(*configPath)
 		if err != nil {
 			return err
@@ -72,8 +96,8 @@ func run(args []string) error {
 		cfg = loaded
 	}
 
-	// Apply only the flags the user set explicitly, so a -config file is
-	// not clobbered by flag defaults.
+	// Apply only the flags the user set explicitly, so a -config file or
+	// -scenario is not clobbered by flag defaults.
 	var coordErr error
 	apply := map[string]func(){
 		"procs":          func() { cfg.Processors = *procs },
@@ -99,8 +123,8 @@ func run(args []string) error {
 			}
 		},
 	}
-	if *configPath == "" {
-		// No file: every config flag applies, as before.
+	if *configPath == "" && *scenarioName == "" {
+		// No file or scenario: every config flag applies, as before.
 		for _, f := range apply {
 			f()
 		}

@@ -144,3 +144,55 @@ func TestRunJournalUnwritablePath(t *testing.T) {
 		t.Fatal("expected error for unwritable journal path")
 	}
 }
+
+func TestRunScenario(t *testing.T) {
+	err := run([]string{"-scenario", "migration", "-reps", "1", "-warmup", "10", "-measure", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioWithFlagOverride(t *testing.T) {
+	// Explicit flags override the scenario, exactly as they do -config.
+	err := run([]string{"-scenario", "base", "-procs", "8192", "-reps", "1", "-warmup", "10", "-measure", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunListScenarios(t *testing.T) {
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioAndConfigExclusive(t *testing.T) {
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(cfgPath, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", "base", "-config", cfgPath})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	err := run([]string{"-scenario", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want unknown-scenario error, got %v", err)
+	}
+}
+
+func TestRunScenarioDirOverride(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"name": "tiny", "title": "Tiny machine", "description": "d", "citation": "local",
+		"tags": ["local"], "config": {"processors": 8192}}`
+	if err := os.WriteFile(filepath.Join(dir, "tiny.json"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-scenario", "tiny", "-scenario-dir", dir, "-reps", "1", "-warmup", "10", "-measure", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

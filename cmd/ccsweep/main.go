@@ -20,6 +20,7 @@ import (
 	"repro"
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -32,44 +33,85 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ccsweep", flag.ContinueOnError)
 	var (
-		param        = fs.String("param", "procs", "parameter to sweep: procs, interval-min, mttf-years, mttr-min, mttq-sec, timeout-sec, pe, alpha")
-		values       = fs.String("values", "", "comma-separated values (required)")
-		procs        = fs.Int("procs", 65536, "total compute processors")
-		mttfYears    = fs.Float64("mttf-years", 1, "per-node MTTF in years")
-		mttrMin      = fs.Float64("mttr-min", 10, "system MTTR in minutes")
-		intervalMin  = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
-		coordination = fs.String("coordination", "fixed", "coordination mode: fixed, none, max-of-n")
-		rFactor      = fs.Float64("r", 400, "correlated failure factor (used when sweeping pe/alpha)")
-		reps         = fs.Int("reps", 3, "independent replications")
-		warmup       = fs.Float64("warmup", 300, "transient hours to discard")
-		measure      = fs.Float64("measure", 1500, "measured hours per replication")
-		seed         = fs.Uint64("seed", 1, "root random seed")
-		workers      = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows (1 = sequential; results are identical for any value)")
-		journalPath  = fs.String("journal", "", "write a JSONL run journal (rows in input order, records labeled param=value) to this file")
-		metrics      = fs.Bool("metrics", false, "print the collected telemetry table to stderr after the sweep")
-		debugAddr    = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the sweep")
+		param         = fs.String("param", "procs", "parameter to sweep: procs, interval-min, mttf-years, mttr-min, mttq-sec, timeout-sec, pe, alpha")
+		values        = fs.String("values", "", "comma-separated values (required)")
+		scenarioName  = fs.String("scenario", "", "base the sweep on a named scenario (see -list-scenarios; flags given explicitly override it)")
+		scenarioDir   = fs.String("scenario-dir", "", "directory of scenario files extending/overriding the built-in catalog")
+		listScenarios = fs.Bool("list-scenarios", false, "list the scenario catalog and exit")
+		procs         = fs.Int("procs", 65536, "total compute processors")
+		mttfYears     = fs.Float64("mttf-years", 1, "per-node MTTF in years")
+		mttrMin       = fs.Float64("mttr-min", 10, "system MTTR in minutes")
+		intervalMin   = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
+		coordination  = fs.String("coordination", "fixed", "coordination mode: fixed, none, max-of-n")
+		rFactor       = fs.Float64("r", 400, "correlated failure factor (used when sweeping pe/alpha)")
+		reps          = fs.Int("reps", 3, "independent replications")
+		warmup        = fs.Float64("warmup", 300, "transient hours to discard")
+		measure       = fs.Float64("measure", 1500, "measured hours per replication")
+		seed          = fs.Uint64("seed", 1, "root random seed")
+		workers       = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows (1 = sequential; results are identical for any value)")
+		journalPath   = fs.String("journal", "", "write a JSONL run journal (rows in input order, records labeled param=value) to this file")
+		metrics       = fs.Bool("metrics", false, "print the collected telemetry table to stderr after the sweep")
+		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	catalog, err := scenario.Resolve(*scenarioDir)
+	if err != nil {
+		return err
+	}
+	if *listScenarios {
+		return catalog.WriteList(os.Stdout)
 	}
 	if *values == "" {
 		return fmt.Errorf("-values is required")
 	}
 
 	base := repro.DefaultConfig()
-	base.Processors = *procs
-	base.MTTFPerNode = repro.Years(*mttfYears)
-	base.MTTR = repro.Minutes(*mttrMin)
-	base.CheckpointInterval = repro.Minutes(*intervalMin)
-	switch *coordination {
-	case "fixed":
-		base.Coordination = repro.CoordFixed
-	case "none":
-		base.Coordination = repro.CoordNone
-	case "max-of-n":
-		base.Coordination = repro.CoordMaxOfN
-	default:
-		return fmt.Errorf("unknown coordination mode %q", *coordination)
+	if *scenarioName != "" {
+		s, err := catalog.Get(*scenarioName)
+		if err != nil {
+			return err
+		}
+		if base, err = s.ClusterConfig(); err != nil {
+			return err
+		}
+	}
+	// With a scenario base, apply only the flags the user set explicitly so
+	// flag defaults don't clobber it; without one, every base flag applies,
+	// as before.
+	var coordErr error
+	applyBase := map[string]func(){
+		"procs":        func() { base.Processors = *procs },
+		"mttf-years":   func() { base.MTTFPerNode = repro.Years(*mttfYears) },
+		"mttr-min":     func() { base.MTTR = repro.Minutes(*mttrMin) },
+		"interval-min": func() { base.CheckpointInterval = repro.Minutes(*intervalMin) },
+		"coordination": func() {
+			switch *coordination {
+			case "fixed":
+				base.Coordination = repro.CoordFixed
+			case "none":
+				base.Coordination = repro.CoordNone
+			case "max-of-n":
+				base.Coordination = repro.CoordMaxOfN
+			default:
+				coordErr = fmt.Errorf("unknown coordination mode %q", *coordination)
+			}
+		},
+	}
+	if *scenarioName == "" {
+		for _, f := range applyBase {
+			f()
+		}
+	} else {
+		fs.Visit(func(f *flag.Flag) {
+			if a, ok := applyBase[f.Name]; ok {
+				a()
+			}
+		})
+	}
+	if coordErr != nil {
+		return coordErr
 	}
 
 	apply, err := setter(*param, *rFactor)

@@ -139,3 +139,19 @@ func TestSweepMetricsTable(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSweepScenarioBase(t *testing.T) {
+	err := run([]string{
+		"-scenario", "weibull-field", "-param", "procs", "-values", "8192,16384",
+		"-reps", "1", "-warmup", "10", "-measure", "50",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepListScenarios(t *testing.T) {
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+}

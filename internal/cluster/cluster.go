@@ -119,6 +119,23 @@ type Config struct {
 	// checkpoint protocol is modeled (Section 7 studies all three).
 	Coordination CoordinationMode
 
+	// Failure-model parameters (extension): the paper assumes exponential
+	// inter-failure times calibrated on ASCI Q field data (Section 3.4);
+	// contemporary field studies (Tan & DeBardeleben 2019) fit Weibull
+	// distributions with shape < 1 to the same kind of data, which makes
+	// failures burstier at equal MTTF.
+
+	// FailureDist selects the distribution family of failure inter-arrival
+	// times for the compute, I/O, and during-recovery failure processes.
+	// The zero value (FailureExponential) is the paper's model.
+	FailureDist FailureDistribution
+	// FailureShape is the Weibull shape parameter k. Required (> 0) when
+	// FailureDist is FailureWeibull and must be unset otherwise; the scale
+	// is always derived so the configured MTTF is preserved (the mean stays
+	// 1/rate regardless of shape). k = 1 degenerates to exponential;
+	// k < 1 concentrates failures into bursts.
+	FailureShape float64
+
 	// Ablation switches. These are not Table 3 parameters; they disable
 	// design features of the modeled system so their value can be
 	// quantified (see the ablation benchmarks).
@@ -179,6 +196,63 @@ type Config struct {
 	// set. Recovery always reads the full chain from the file system, so
 	// recovery times are unchanged.
 	FullCheckpointEvery int
+
+	// Migration-based recovery (Cappello, Casanova & Robert 2009):
+	// a failure predictor announces some failures ahead of time and the
+	// runtime proactively migrates the endangered processes to spare
+	// nodes, averting the rollback entirely at the cost of a short
+	// migration pause.
+
+	// FailurePredictionAccuracy is the probability that a compute-
+	// subsystem failure is predicted in time to migrate away from it.
+	// 0 (the paper's model) disables proactive migration. Failures during
+	// recovery are never predicted: there is no healthy state to migrate.
+	FailurePredictionAccuracy float64
+	// MigrationTime is the application pause while the predicted-failing
+	// node's processes move to a spare (no work is lost). Must be
+	// positive when FailurePredictionAccuracy is set.
+	MigrationTime float64
+
+	// Adaptive checkpoint interval (malleable intervals in the spirit of
+	// Raghavendra & Vadhiyar): instead of the fixed Table 3 interval, the
+	// master retunes the time to the next checkpoint from the failure
+	// rate observed so far, using Young's first-order optimum
+	// √(2·overhead·MTBF̂) with MTBF̂ = elapsed time / failures seen.
+
+	// AdaptiveInterval enables the marking-dependent interval controller.
+	// Until the first observed failure the configured CheckpointInterval
+	// is used as the prior.
+	AdaptiveInterval bool
+	// AdaptiveIntervalMin clamps the controller from below (hours). Must
+	// be positive when AdaptiveInterval is set.
+	AdaptiveIntervalMin float64
+	// AdaptiveIntervalMax clamps the controller from above (hours). Must
+	// be ≥ AdaptiveIntervalMin when AdaptiveInterval is set.
+	AdaptiveIntervalMax float64
+}
+
+// FailureDistribution enumerates the supported failure inter-arrival
+// distribution families.
+type FailureDistribution int
+
+const (
+	// FailureExponential is the paper's memoryless failure process (the
+	// zero value, so existing configurations are unchanged).
+	FailureExponential FailureDistribution = iota
+	// FailureWeibull draws inter-failure times from a Weibull with the
+	// configured shape, scaled to preserve the configured MTTF.
+	FailureWeibull
+)
+
+func (d FailureDistribution) String() string {
+	switch d {
+	case FailureExponential:
+		return "exponential"
+	case FailureWeibull:
+		return "weibull"
+	default:
+		return fmt.Sprintf("FailureDistribution(%d)", int(d))
+	}
 }
 
 // CoordinationMode enumerates the paper's three treatments of quiesce time.
@@ -300,6 +374,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: IncrementalFraction %v outside [0,1)", c.IncrementalFraction)
 	case c.IncrementalFraction > 0 && c.FullCheckpointEvery < 2:
 		return errors.New("cluster: IncrementalFraction set but FullCheckpointEvery is below 2")
+	case c.FailureDist < FailureExponential || c.FailureDist > FailureWeibull:
+		return fmt.Errorf("cluster: invalid FailureDist %d", int(c.FailureDist))
+	case c.FailureDist == FailureWeibull && c.FailureShape <= 0:
+		return errors.New("cluster: FailureDist weibull requires a positive FailureShape")
+	case c.FailureDist == FailureExponential && c.FailureShape != 0:
+		return errors.New("cluster: FailureShape set but FailureDist is exponential")
+	case c.FailurePredictionAccuracy < 0 || c.FailurePredictionAccuracy > 1:
+		return fmt.Errorf("cluster: FailurePredictionAccuracy %v outside [0,1]", c.FailurePredictionAccuracy)
+	case c.FailurePredictionAccuracy > 0 && c.MigrationTime <= 0:
+		return errors.New("cluster: FailurePredictionAccuracy set but MigrationTime is not positive")
+	case c.FailurePredictionAccuracy == 0 && c.MigrationTime != 0:
+		return errors.New("cluster: MigrationTime set but FailurePredictionAccuracy is zero")
+	case c.AdaptiveInterval && c.AdaptiveIntervalMin <= 0:
+		return errors.New("cluster: AdaptiveInterval requires a positive AdaptiveIntervalMin")
+	case c.AdaptiveInterval && c.AdaptiveIntervalMax < c.AdaptiveIntervalMin:
+		return fmt.Errorf("cluster: AdaptiveIntervalMax %v below AdaptiveIntervalMin %v",
+			c.AdaptiveIntervalMax, c.AdaptiveIntervalMin)
+	case !c.AdaptiveInterval && (c.AdaptiveIntervalMin != 0 || c.AdaptiveIntervalMax != 0):
+		return errors.New("cluster: adaptive-interval bounds set but AdaptiveInterval is false")
 	}
 	return nil
 }

@@ -56,6 +56,31 @@ type FileConfig struct {
 	ReconfigurationMinutes float64 `json:"reconfigurationMinutes,omitempty"`
 	IncrementalFraction    float64 `json:"incrementalFraction,omitempty"`
 	FullCheckpointEvery    int     `json:"fullCheckpointEvery,omitempty"`
+
+	// FailureModel selects the failure inter-arrival distribution; absent
+	// means the paper's exponential model.
+	FailureModel *FailureModel `json:"failureModel,omitempty"`
+
+	// FailurePredictionAccuracy enables the proactive-migration extension:
+	// each compute failure is predicted (and absorbed by a migration of
+	// MigrationMinutes) with this probability.
+	FailurePredictionAccuracy float64 `json:"failurePredictionAccuracy,omitempty"`
+	MigrationMinutes          float64 `json:"migrationMinutes,omitempty"`
+
+	// AdaptiveInterval enables the adaptive checkpoint-interval controller
+	// retuning from the observed failure rate, clamped to [min, max].
+	AdaptiveInterval           bool    `json:"adaptiveInterval,omitempty"`
+	AdaptiveIntervalMinMinutes float64 `json:"adaptiveIntervalMinMinutes,omitempty"`
+	AdaptiveIntervalMaxMinutes float64 `json:"adaptiveIntervalMaxMinutes,omitempty"`
+}
+
+// FailureModel is the failure-distribution block of the file schema.
+type FailureModel struct {
+	// Dist is "exponential" (the default) or "weibull".
+	Dist string `json:"dist,omitempty"`
+	// Shape is the Weibull shape parameter k (required for "weibull";
+	// field data typically fits k < 1, i.e. burstier than exponential).
+	Shape float64 `json:"shape,omitempty"`
 }
 
 // ToCluster converts the file schema to a validated model configuration,
@@ -119,6 +144,22 @@ func (f FileConfig) ToCluster() (cluster.Config, error) {
 	c.ReconfigurationTime = cluster.Minutes(f.ReconfigurationMinutes)
 	c.IncrementalFraction = f.IncrementalFraction
 	c.FullCheckpointEvery = f.FullCheckpointEvery
+	if fm := f.FailureModel; fm != nil {
+		switch fm.Dist {
+		case "", "exponential":
+			c.FailureDist = cluster.FailureExponential
+		case "weibull":
+			c.FailureDist = cluster.FailureWeibull
+		default:
+			return cluster.Config{}, fmt.Errorf("configio: unknown failure distribution %q", fm.Dist)
+		}
+		c.FailureShape = fm.Shape
+	}
+	c.FailurePredictionAccuracy = f.FailurePredictionAccuracy
+	c.MigrationTime = cluster.Minutes(f.MigrationMinutes)
+	c.AdaptiveInterval = f.AdaptiveInterval
+	c.AdaptiveIntervalMin = cluster.Minutes(f.AdaptiveIntervalMinMinutes)
+	c.AdaptiveIntervalMax = cluster.Minutes(f.AdaptiveIntervalMaxMinutes)
 	if err := c.Validate(); err != nil {
 		return cluster.Config{}, fmt.Errorf("configio: %w", err)
 	}
@@ -160,6 +201,14 @@ func FromCluster(c cluster.Config) FileConfig {
 		ReconfigurationMinutes:       c.ReconfigurationTime * 60,
 		IncrementalFraction:          c.IncrementalFraction,
 		FullCheckpointEvery:          c.FullCheckpointEvery,
+		FailurePredictionAccuracy:    c.FailurePredictionAccuracy,
+		MigrationMinutes:             c.MigrationTime * 60,
+		AdaptiveInterval:             c.AdaptiveInterval,
+		AdaptiveIntervalMinMinutes:   c.AdaptiveIntervalMin * 60,
+		AdaptiveIntervalMaxMinutes:   c.AdaptiveIntervalMax * 60,
+	}
+	if c.FailureDist != cluster.FailureExponential {
+		f.FailureModel = &FailureModel{Dist: c.FailureDist.String(), Shape: c.FailureShape}
 	}
 	return f
 }

@@ -14,12 +14,11 @@ var procSweep = []int{8192, 16384, 32768, 65536, 131072, 262144}
 var intervalSweepMinutes = []float64{15, 30, 60, 120, 240}
 
 // baseConfig is the Section 7.1 base model: fixed quiesce time, no
-// timeout, independent failures only.
+// timeout, independent failures only — the "base" scenario of the
+// catalog (which TestScenarioRegistryPinsVariants pins to the paper's
+// Table 3 defaults).
 func baseConfig() cluster.Config {
-	cfg := cluster.Default()
-	cfg.Coordination = cluster.CoordFixed
-	cfg.Timeout = 0
-	return cfg
+	return mustScenarioConfig("base")
 }
 
 func floats(ints []int) []float64 {

@@ -44,13 +44,10 @@ func Fig5(opts runner.Options) (*Figure, error) {
 	return fig, nil
 }
 
-// coordOnlyConfig disables failures to isolate coordination (Figure 5).
+// coordOnlyConfig disables failures to isolate coordination (Figure 5) —
+// the "coordination-only" scenario of the catalog.
 func coordOnlyConfig() cluster.Config {
-	cfg := cluster.Default()
-	cfg.Coordination = cluster.CoordMaxOfN
-	cfg.Timeout = 0
-	cfg.MTTFPerNode = cluster.Years(1e12)
-	return cfg
+	return mustScenarioConfig("coordination-only")
 }
 
 // Fig6: coordination and timeout with failures — useful-work fraction vs
@@ -148,9 +145,8 @@ func Fig8(opts runner.Options) (*Figure, error) {
 	}
 	base := cluster.Default()
 	base.MTTFPerNode = cluster.Years(3)
-	with := base
-	with.CorrelatedFactor = 400
-	with.GenericCorrelatedCoefficient = 0.0025
+	// The correlated case is the "generic-correlated" catalog scenario.
+	with := mustScenarioConfig("generic-correlated")
 
 	xs := floats(procSweep)
 	setProcs := func(cfg *cluster.Config, x float64) { cfg.Processors = int(x) }

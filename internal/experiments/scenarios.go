@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// mustScenarioConfig returns the named built-in scenario's model
+// configuration. The figure experiments draw their base configurations
+// from the scenario catalog so that "what figure N ran" is inspectable
+// data (`ccsim -list-scenarios`), not code. The embedded catalog is
+// validated by its package tests and pinned bit-identically by the model
+// differential suite, so a failure here is a build defect; panicking keeps
+// the figure constructors free of impossible error plumbing.
+func mustScenarioConfig(name string) cluster.Config {
+	s, err := scenario.Builtin().Get(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	cfg, err := s.ClusterConfig()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return cfg
+}
+
+// ScenarioFigure sweeps processor count for one catalog scenario — the
+// generic figure behind `ccfigures -scenario <name>`, giving any scenario
+// (built-in or user-supplied) the same scaling view the paper's figures
+// give the base model.
+func ScenarioFigure(s scenario.Scenario, opts runner.Options) (*Figure, error) {
+	cfg, err := s.ClusterConfig()
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     "scenario-" + s.Name,
+		Title:  s.Title,
+		XLabel: "processors",
+		YLabel: "useful work fraction",
+	}
+	series, err := runSpecs([]seriesSpec{{
+		name: s.Name,
+		base: cfg,
+		xs:   floats(procSweep),
+		mutate: func(cfg *cluster.Config, x float64) {
+			cfg.Processors = int(x)
+		},
+	}}, opts)
+	if err != nil {
+		return nil, err
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// ScenarioDef wraps a scenario sweep as a runnable experiment definition.
+func ScenarioDef(s scenario.Scenario) Def {
+	return Def{
+		ID:         "scenario-" + s.Name,
+		Title:      s.Title,
+		ShapeClaim: "scenario sweep (no paper shape claim)",
+		Run: func(opts runner.Options) (*Figure, error) {
+			return ScenarioFigure(s, opts)
+		},
+	}
+}

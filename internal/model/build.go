@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/phasetrace"
@@ -21,6 +22,11 @@ type Instance struct {
 
 	// Coordination delay distribution (Section 5 / Section 7.2 modes).
 	coordDist rng.Dist
+
+	// weibullMeanDivisor is Γ(1+1/shape), precomputed so the Weibull
+	// failure sampler can derive the scale matching any (possibly
+	// marking-dependent) target mean. 0 under the exponential default.
+	weibullMeanDivisor float64
 
 	// pendingWriteScale is the size of the dumped checkpoint relative to
 	// a full one, consumed by the background FS write's delay.
@@ -60,6 +66,7 @@ type Counters struct {
 	Reboots            uint64 // severe-failure system reboots
 	CorrWindows        uint64 // correlated-failure windows opened
 	PermanentFailures  uint64 // failures flagged permanent (extension)
+	Migrations         uint64 // failures predicted and averted by proactive migration (extension)
 }
 
 // New validates cfg and builds an instance seeded with seed.
@@ -69,6 +76,9 @@ func New(cfg cluster.Config, seed uint64) (*Instance, error) {
 	}
 	inst := &Instance{cfg: cfg, src: rng.New(seed), pendingWriteScale: 1}
 	inst.coordDist = coordinationDist(cfg)
+	if cfg.FailureDist == cluster.FailureWeibull {
+		inst.weibullMeanDivisor = math.Gamma(1 + 1/cfg.FailureShape)
+	}
 	inst.mod = san.NewModel("coordinated-checkpointing")
 	inst.pl = newPlaces(inst.mod)
 	inst.addComputeAndMaster()
@@ -76,6 +86,7 @@ func New(cfg cluster.Config, seed uint64) (*Instance, error) {
 	inst.addIONodes()
 	inst.addFailureAndRecovery()
 	inst.addCorrelated()
+	inst.addMigration()
 	sim, err := san.NewSimulator(inst.mod, inst.src)
 	if err != nil {
 		return nil, err
@@ -141,11 +152,14 @@ func (in *Instance) addComputeAndMaster() {
 	pl, cfg := in.pl, in.cfg
 
 	// The checkpoint interval expires and the master starts the protocol
-	// (and its timeout timer, the start_timer gate of Figure 2d).
+	// (and its timeout timer, the start_timer gate of Figure 2d). The
+	// delay is the configured interval, or — under the adaptive-interval
+	// extension — whatever the marking-dependent controller currently
+	// recommends (see intervalDelay).
 	in.mod.AddTimed(san.Activity{
 		Name:  "checkpoint_trigger",
 		Input: san.AllOf(pl.masterSleep, pl.sysUp),
-		Delay: det(cfg.CheckpointInterval),
+		Delay: in.intervalDelay,
 		Output: san.Out(func(m *san.Marking) {
 			m.Move(pl.masterSleep, pl.masterCheckpointing)
 		}),

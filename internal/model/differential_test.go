@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 )
 
 // traceRecord is one firing as captured for differential comparison. Times
@@ -36,12 +37,19 @@ func collectTrajectory(t *testing.T, cfg cluster.Config, seed uint64, fullScan b
 }
 
 // differentialConfigs are the model configurations the differential suites
-// run on — the incremental-vs-fullscan comparison and the recycle-vs-fresh
-// comparison both iterate them. The six variants exercise every structural
-// variant of the net: the paper's base model, max-of-n coordination,
-// timeouts with aborts, error propagation, the blocking-write ablation
-// (fsWait path and its resume instantaneous activity), and incremental
-// checkpointing (the incrSeq place and size-scaled dumps).
+// run on — the incremental-vs-fullscan comparison, the recycle-vs-fresh
+// comparison and the scenario-registry pinning all iterate them. The nine
+// variants exercise every structural variant of the net: the paper's base
+// model, max-of-n coordination, timeouts with aborts, error propagation,
+// the blocking-write ablation (fsWait path and its resume instantaneous
+// activity), incremental checkpointing (the incrSeq place and size-scaled
+// dumps), Weibull failure inter-arrivals, proactive migration (the
+// migrating place and migrate_complete activity), and the adaptive
+// interval controller (counter-dependent trigger delays).
+//
+// The keys double as scenario names: every entry must have an embedded
+// scenario that builds the identical cluster.Config, which
+// TestScenarioRegistryPinsVariants enforces bit-for-bit.
 func differentialConfigs() map[string]cluster.Config {
 	base := cluster.Default()
 
@@ -63,6 +71,19 @@ func differentialConfigs() map[string]cluster.Config {
 	incr.IncrementalFraction = 0.2
 	incr.FullCheckpointEvery = 4
 
+	weibull := cluster.Default()
+	weibull.FailureDist = cluster.FailureWeibull
+	weibull.FailureShape = 0.7
+
+	migration := cluster.Default()
+	migration.FailurePredictionAccuracy = 0.7
+	migration.MigrationTime = cluster.Minutes(2)
+
+	adaptive := cluster.Default()
+	adaptive.AdaptiveInterval = true
+	adaptive.AdaptiveIntervalMin = cluster.Minutes(5)
+	adaptive.AdaptiveIntervalMax = cluster.Minutes(240)
+
 	return map[string]cluster.Config{
 		"base":              base,
 		"max-of-n":          maxOfN,
@@ -70,6 +91,9 @@ func differentialConfigs() map[string]cluster.Config {
 		"error-propagation": errProp,
 		"blocking-write":    blocking,
 		"incremental-ckpt":  incr,
+		"weibull-field":     weibull,
+		"migration":         migration,
+		"adaptive-interval": adaptive,
 	}
 }
 
@@ -184,5 +208,157 @@ func TestIncrementalCkptConfigCycles(t *testing.T) {
 	}
 	if maxSeq == 0 {
 		t.Fatal("incr_seq never advanced; incremental dumps not exercised")
+	}
+}
+
+// TestScenarioRegistryPinsVariants is the registry-equivalence contract:
+// every differential config has an embedded scenario of the same name, the
+// scenario must decode to the *identical* cluster.Config (exact float64
+// equality, via Go struct comparison), and — belt and braces, since equal
+// configs should imply it — the scenario-built instance must replay a
+// bit-identical event trace. This is what makes "variants as data" safe:
+// moving a variant from code into a scenario file cannot silently change
+// its trajectory.
+func TestScenarioRegistryPinsVariants(t *testing.T) {
+	const horizon = 2000.0
+	reg := scenario.Builtin()
+	for name, direct := range differentialConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s, err := reg.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromScenario, err := s.ClusterConfig()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromScenario != direct {
+				t.Fatalf("scenario config differs from direct construction:\nscenario %+v\ndirect   %+v",
+					fromScenario, direct)
+			}
+			a, amt := collectTrajectory(t, direct, 42, false, horizon)
+			b, bmt := collectTrajectory(t, fromScenario, 42, false, horizon)
+			if len(a) == 0 || len(a) != len(b) {
+				t.Fatalf("event counts differ: direct %d, scenario %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("event %d differs: direct %+v, scenario %+v", i, a[i], b[i])
+				}
+			}
+			if amt.UsefulWorkFraction != bmt.UsefulWorkFraction || amt.Counters != bmt.Counters {
+				t.Fatalf("metrics differ: %+v vs %+v", amt, bmt)
+			}
+		})
+	}
+}
+
+// TestLegacyUnaffectedByVariantPlumbing pins the refactor's no-regression
+// contract at the trajectory level: with all variant switches off, the
+// migrating place, the failureDelay indirection and the intervalDelay hook
+// must be trajectory-neutral. The golden digests below — event counts,
+// exact useful-work fractions (hex float64) and failure counters — were
+// recorded from the pre-refactor model at seed commit 5e0a740; if plumbing
+// a new variant shifts any of them, the extension is not properly gated.
+func TestLegacyUnaffectedByVariantPlumbing(t *testing.T) {
+	gold := []struct {
+		seed     uint64
+		events   int
+		useful   float64
+		failures [3]uint64 // compute, io, recovery
+		dumps    [2]uint64 // dumped, written
+	}{
+		{1, 307046, 0x1.4d41f1efe10f5p-01, [3]uint64{3299, 73, 525}, [2]uint64{5186, 5177}},
+		{7, 306273, 0x1.4951b53e97fap-01, [3]uint64{3278, 47, 550}, [2]uint64{5147, 5147}},
+	}
+	for _, g := range gold {
+		events, mt := collectTrajectory(t, cluster.Default(), g.seed, false, 4000)
+		if len(events) != g.events {
+			t.Errorf("seed %d: %d events; pre-refactor model produced %d", g.seed, len(events), g.events)
+		}
+		if mt.UsefulWorkFraction != g.useful {
+			t.Errorf("seed %d: useful-work fraction %x; pre-refactor model produced %x",
+				g.seed, mt.UsefulWorkFraction, g.useful)
+		}
+		c := mt.Counters
+		got3 := [3]uint64{c.ComputeFailures, c.IOFailures, c.RecoveryFailures}
+		got2 := [2]uint64{c.CheckpointsDumped, c.CheckpointsWritten}
+		if got3 != g.failures || got2 != g.dumps || c.Migrations != 0 {
+			t.Errorf("seed %d: counters %+v; pre-refactor failures %v dumps %v", g.seed, c, g.failures, g.dumps)
+		}
+	}
+}
+
+// TestMigrationConfigMigrates guards the migration differential config
+// against vacuity: predicted failures must actually be absorbed by
+// migrations, and unpredicted ones must still roll back.
+func TestMigrationConfigMigrates(t *testing.T) {
+	cfg := differentialConfigs()["migration"]
+	in, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Advance(4000)
+	c := in.Counters()
+	if c.Migrations == 0 {
+		t.Fatal("migration config absorbed no failures; differential coverage lost")
+	}
+	if c.ComputeFailures <= c.Migrations {
+		t.Fatal("every compute failure was predicted; unpredicted-failure rollback path not exercised")
+	}
+}
+
+// TestWeibullConfigChangesArrivals guards the Weibull differential config:
+// with shape 0.7 the failure inter-arrival law must actually differ from
+// the exponential base (same seed, different trajectory), while the
+// configured mean is preserved by construction.
+func TestWeibullConfigChangesArrivals(t *testing.T) {
+	const horizon = 4000.0
+	base, _ := collectTrajectory(t, cluster.Default(), 7, false, horizon)
+	weib, _ := collectTrajectory(t, differentialConfigs()["weibull-field"], 7, false, horizon)
+	same := len(base) == len(weib)
+	if same {
+		for i := range base {
+			if base[i] != weib[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("weibull trajectory identical to exponential base; distribution not applied")
+	}
+}
+
+// TestAdaptiveIntervalRetunes guards the adaptive-interval differential
+// config: after failures are observed the controller must move the
+// checkpoint trigger away from the configured interval (toward Young's
+// optimum), i.e. consecutive trigger gaps must not all equal the default.
+func TestAdaptiveIntervalRetunes(t *testing.T) {
+	cfg := differentialConfigs()["adaptive-interval"]
+	in, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var triggers []float64
+	in.SetTrace(func(tm float64, activity string, _ map[string]int) {
+		if activity == "checkpoint_trigger" {
+			triggers = append(triggers, tm)
+		}
+	}, false)
+	in.Advance(4000)
+	if in.Counters().ComputeFailures == 0 {
+		t.Fatal("no failures in the window; adaptive controller never had data")
+	}
+	retuned := false
+	for i := 1; i < len(triggers); i++ {
+		gap := triggers[i] - triggers[i-1]
+		if diff := gap - cfg.CheckpointInterval; diff > 1e-9 || diff < -1e-9 {
+			retuned = true
+			break
+		}
+	}
+	if !retuned {
+		t.Fatal("every trigger gap equals the configured interval; controller never retuned")
 	}
 }

@@ -102,18 +102,25 @@ func (in *Instance) addFailureAndRecovery() {
 	// Compute-subsystem failure: may strike in any state while the system
 	// is up — executing, quiescing or checkpoint dumping (Section 3.4).
 	// The rate is multiplied by r inside a correlated-failure window;
-	// ReactivateOn makes the exponential resample when the window opens
-	// or closes (sound by memorylessness). The output gate reads the
-	// buffer/window places through computeFailure's branching.
+	// ReactivateOn makes the delay resample when the window opens or
+	// closes (sound by memorylessness under the exponential default; an
+	// explicit renewal approximation under FailureWeibull, see
+	// failureDelay). The output gate reads the buffer/window places
+	// through computeFailure's branching. With the migration extension a
+	// predicted failure is absorbed by maybeMigrate instead of rolling
+	// back.
 	in.mod.AddTimed(san.Activity{
 		Name:  "comp_failure",
 		Input: san.AllOf(pl.sysUp),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
-			return rng.Exponential{MeanValue: 1 / (computeRate * in.corrMult(m))}.Sample(src)
+			return in.failureDelay(computeRate*in.corrMult(m), src)
 		},
 		ReactivateOn: []*san.Place{pl.corrWindow},
 		Output: san.Out(func(m *san.Marking) {
 			in.counters.ComputeFailures++
+			if in.maybeMigrate(m) {
+				return
+			}
 			in.computeFailure(m)
 		}, pl.chkptBuffered, pl.corrWindow),
 	})
@@ -172,7 +179,7 @@ func (in *Instance) addFailureAndRecovery() {
 			return (m.Has(pl.recoveryStage1) || m.Has(pl.recoveryStage2)) && !m.Has(pl.rebooting)
 		}, pl.recoveryStage1, pl.recoveryStage2, pl.rebooting),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
-			return rng.Exponential{MeanValue: 1 / (computeRate * in.corrMult(m))}.Sample(src)
+			return in.failureDelay(computeRate*in.corrMult(m), src)
 		},
 		ReactivateOn: []*san.Place{pl.corrWindow},
 		Output: san.Out(func(m *san.Marking) {
@@ -198,7 +205,7 @@ func (in *Instance) addFailureAndRecovery() {
 			Name:  "io_failure",
 			Input: san.AllOf(pl.ioUp),
 			Delay: func(m *san.Marking, src rng.Source) float64 {
-				return rng.Exponential{MeanValue: 1 / (ioRate * in.corrMult(m))}.Sample(src)
+				return in.failureDelay(ioRate*in.corrMult(m), src)
 			},
 			ReactivateOn: []*san.Place{pl.corrWindow},
 			Output: san.Out(func(m *san.Marking) {
@@ -259,11 +266,13 @@ func (in *Instance) computeFailure(m *san.Marking) {
 	in.lossStats.Add(lost)
 	in.lost += lost
 
-	// Tear down the compute side wherever it was.
+	// Tear down the compute side wherever it was (an in-progress
+	// migration is overtaken by the unpredicted failure).
 	m.Clear(pl.execution)
 	m.Clear(pl.quiescing)
 	m.Clear(pl.checkpointing)
 	m.Clear(pl.fsWait)
+	m.Clear(pl.migrating)
 	m.Clear(pl.sysUp)
 
 	// Abort the protocol; a partially dumped checkpoint is discarded and
@@ -361,6 +370,7 @@ func (in *Instance) startReboot(m *san.Marking) {
 	m.Clear(pl.quiescing)
 	m.Clear(pl.checkpointing)
 	m.Clear(pl.fsWait)
+	m.Clear(pl.migrating)
 	m.Clear(pl.sysUp)
 	m.Set(pl.masterSleep, 1)
 	m.Clear(pl.masterCheckpointing)

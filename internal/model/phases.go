@@ -17,6 +17,7 @@ func (in *Instance) phaseState(m *san.Marking) phasetrace.State {
 		RecoveryStage1: m.Get(pl.recoveryStage1) > 0,
 		RecoveryStage2: m.Get(pl.recoveryStage2) > 0,
 		Rebooting:      m.Get(pl.rebooting) > 0,
+		Migrating:      m.Get(pl.migrating) > 0,
 		SysUp:          m.Get(pl.sysUp) > 0,
 	}
 }

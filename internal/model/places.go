@@ -51,6 +51,7 @@ type places struct {
 	rebooting        *san.Place // whole-system reboot in progress
 	reconfigNeeded   *san.Place // permanent failure: spare-node reconfiguration pending
 	incrSeq          *san.Place // checkpoints since the last full one (incremental extension)
+	migrating        *san.Place // proactive migration after a predicted failure (migration extension)
 
 	// correlated_failures submodel: a token marks the correlated-failure
 	// window during which all failure rates are multiplied by r. The
@@ -94,6 +95,7 @@ func newPlaces(m *san.Model) *places {
 		rebooting:        m.Place("rebooting", 0),
 		reconfigNeeded:   m.Place("reconfig_needed", 0),
 		incrSeq:          m.Place("incr_seq", 0),
+		migrating:        m.Place("migrating", 0),
 
 		corrWindow: m.Place("corr_window", 0),
 	}

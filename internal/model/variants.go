@@ -1,0 +1,131 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/san"
+)
+
+// This file holds the config-selectable model variants beyond the paper's
+// switches: the Weibull failure-distribution family (Tan & DeBardeleben
+// 2019 field-data fits), proactive migration after predicted failures
+// (Cappello, Casanova & Robert 2009), and the adaptive checkpoint-interval
+// controller (malleable intervals, Raghavendra & Vadhiyar). All three are
+// reachable purely from cluster.Config — and hence from scenario files —
+// and all three leave the paper's default configurations bit-identical:
+// under the defaults every code path below reduces to the pre-existing
+// behavior without consuming extra random numbers.
+
+// failureDelay samples the next failure inter-arrival time for the given
+// (possibly marking-dependent) rate. Under the exponential default this is
+// exactly the historic rng.Exponential draw; under FailureWeibull the scale
+// is derived from the precomputed Γ(1+1/k) so the mean stays 1/rate — the
+// configured MTTF is preserved, only the burstiness changes. Both branches
+// consume exactly one uniform from src.
+//
+// Weibull inter-arrivals are not memoryless, so the correlated-window
+// reactivation (which resamples the clock when the window opens or closes)
+// is an approximation: each resample restarts the Weibull age. That matches
+// the usual renewal treatment of rate-modulated Weibull processes and errs
+// toward more frequent failures for shape < 1.
+func (in *Instance) failureDelay(rate float64, src rng.Source) float64 {
+	mean := 1 / rate
+	if in.cfg.FailureDist == cluster.FailureWeibull {
+		return rng.Weibull{Shape: in.cfg.FailureShape, Scale: mean / in.weibullMeanDivisor}.Sample(src)
+	}
+	return rng.Exponential{MeanValue: mean}.Sample(src)
+}
+
+// intervalDelay is the checkpoint_trigger delay: the configured interval,
+// or — when AdaptiveInterval is set — Young's first-order optimum
+// √(2·overhead·MTBF̂) re-evaluated every time the master re-arms, with
+// MTBF̂ the trajectory's observed mean time between failures (compute and
+// I/O subsystems combined). Until the first failure the configured
+// interval serves as the prior. The estimate is clamped to the configured
+// [min, max] band so a lucky failure-free stretch cannot push checkpoints
+// arbitrarily far apart.
+func (in *Instance) intervalDelay(*san.Marking, rng.Source) float64 {
+	cfg := &in.cfg
+	if !cfg.AdaptiveInterval {
+		return cfg.CheckpointInterval
+	}
+	fails := in.counters.ComputeFailures + in.counters.IOFailures
+	if fails == 0 {
+		return clampInterval(cfg, cfg.CheckpointInterval)
+	}
+	// A failure has fired, so the simulator exists and has advanced.
+	mtbf := in.sim.Now() / float64(fails)
+	overhead := cfg.MTTQ + cfg.CheckpointDumpTime()
+	return clampInterval(cfg, math.Sqrt(2*overhead*mtbf))
+}
+
+// clampInterval bounds the controller's recommendation to the configured
+// adaptive band.
+func clampInterval(cfg *cluster.Config, iv float64) float64 {
+	if iv < cfg.AdaptiveIntervalMin {
+		return cfg.AdaptiveIntervalMin
+	}
+	if iv > cfg.AdaptiveIntervalMax {
+		return cfg.AdaptiveIntervalMax
+	}
+	return iv
+}
+
+// maybeMigrate intercepts a compute-subsystem failure when the failure
+// predictor announced it in time: with probability FailurePredictionAccuracy
+// the endangered processes migrate to spare nodes instead of crashing. The
+// migration pauses the application (no useful work accrues, any checkpoint
+// protocol in progress is abandoned exactly as on a real failure) but loses
+// no work: there is no rollback, the buffered and durable checkpoints stay
+// valid, and recovery never starts. Returns true when the failure was
+// absorbed. Consumes no randomness when the extension is disabled.
+func (in *Instance) maybeMigrate(m *san.Marking) bool {
+	cfg := &in.cfg
+	if cfg.FailurePredictionAccuracy <= 0 || in.src.Float64() >= cfg.FailurePredictionAccuracy {
+		return false
+	}
+	pl := in.pl
+	in.counters.Migrations++
+
+	// Pause the compute side wherever it was; the system itself stays up
+	// (sysUp keeps its token), so unpredicted failures can still strike
+	// mid-migration and trigger a genuine rollback.
+	m.Clear(pl.execution)
+	m.Clear(pl.quiescing)
+	m.Clear(pl.checkpointing)
+	m.Clear(pl.fsWait)
+
+	// Abandon any checkpoint protocol in flight; a partially dumped
+	// checkpoint is discarded and the previous one remains valid, as on
+	// an ordinary failure (Section 3.2).
+	m.Clear(pl.completeCoordination)
+	m.Clear(pl.timedOut)
+	m.Set(pl.masterSleep, 1)
+	m.Clear(pl.masterCheckpointing)
+	in.resetApp(m)
+
+	m.Set(pl.migrating, 1)
+	return true
+}
+
+// addMigration wires the migration submodel: a deterministic pause after
+// which the application resumes exactly where the predictor interrupted it,
+// with no work lost. The activity exists only when the extension is
+// enabled, so legacy nets keep their exact structure.
+func (in *Instance) addMigration() {
+	pl, cfg := in.pl, in.cfg
+	if cfg.FailurePredictionAccuracy <= 0 {
+		return
+	}
+	in.mod.AddTimed(san.Activity{
+		Name:  "migrate_complete",
+		Input: san.AllOf(pl.migrating, pl.sysUp),
+		Delay: det(cfg.MigrationTime),
+		Output: san.Out(func(m *san.Marking) {
+			m.Clear(pl.migrating)
+			m.Set(pl.execution, 1)
+		}),
+	})
+}

@@ -19,6 +19,7 @@ func StateFromMarking(m map[string]int) State {
 		RecoveryStage1: m["recovery_stage1"] > 0,
 		RecoveryStage2: m["recovery_stage2"] > 0,
 		Rebooting:      m["rebooting"] > 0,
+		Migrating:      m["migrating"] > 0,
 		SysUp:          m["sys_up"] > 0,
 	}
 }

@@ -54,6 +54,10 @@ const (
 	Recovery
 	// Downtime: whole-system reboot after severe failures.
 	Downtime
+	// Migration: proactive process migration after a predicted failure
+	// (only under the FailurePredictionAccuracy extension). The
+	// application is paused but no work is lost and no rollback occurs.
+	Migration
 
 	// NumPhases is the number of distinct phases (array sizing).
 	NumPhases
@@ -61,6 +65,7 @@ const (
 
 var phaseNames = [NumPhases]string{
 	"computation", "rework", "quiesce", "dump", "fswait", "recovery", "downtime",
+	"migration",
 }
 
 // String returns the lower-case phase name used in span records, metric
@@ -133,6 +138,7 @@ type State struct {
 	RecoveryStage1 bool // place "recovery_stage1"
 	RecoveryStage2 bool // place "recovery_stage2"
 	Rebooting      bool // place "rebooting"
+	Migrating      bool // place "migrating"
 	SysUp          bool // place "sys_up"
 }
 
@@ -149,6 +155,8 @@ func (st State) Phase() Phase {
 		return Dump
 	case st.Quiescing:
 		return Quiesce
+	case st.Migrating:
+		return Migration
 	default:
 		return Computation
 	}

@@ -106,10 +106,10 @@ func Out(apply Effect, reads ...*Place) OutputGate {
 // Activity is a SAN activity. Use Model.AddTimed / Model.AddInstant to
 // create activities; the zero value is not valid.
 type Activity struct {
-	Name  string
-	Kind  Kind
-	Input InputGate
-	Delay DelayFunc // nil for instantaneous activities
+	Name   string
+	Kind   Kind
+	Input  InputGate
+	Delay  DelayFunc // nil for instantaneous activities
 	Output OutputGate
 	// ReactivateOn lists places whose token-count changes force the
 	// activity to resample its delay while it remains enabled. This is

@@ -151,9 +151,9 @@ func TestDependencyIndex(t *testing.T) {
 		Output: Out(func(mk *Marking) { mk.Move(a, b) }),
 	})
 	opaque := m.AddTimed(Activity{
-		Name:  "opaque",
-		Input: When(func(mk *Marking) bool { return mk.Has(b) }), // no declared reads
-		Delay: fixed(2),
+		Name:   "opaque",
+		Input:  When(func(mk *Marking) bool { return mk.Has(b) }), // no declared reads
+		Delay:  fixed(2),
 		Output: Out(func(mk *Marking) { mk.Move(b, a) }),
 	})
 	if err := m.Validate(); err != nil {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/protocol"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sensitivity"
 	"repro/internal/stats"
 )
@@ -213,6 +214,25 @@ func LoadConfig(r io.Reader) (Config, error) { return configio.Load(r) }
 
 // SaveConfig writes cfg as indented JSON in the same schema.
 func SaveConfig(w io.Writer, cfg Config) error { return configio.Save(w, cfg) }
+
+// Scenario is one named, documented model configuration from the scenario
+// catalog: a title, description, citation, tags and optional expected-metric
+// band alongside the configuration itself.
+type Scenario = scenario.Scenario
+
+// ScenarioRegistry is a catalog of scenarios keyed by name.
+type ScenarioRegistry = scenario.Registry
+
+// BuiltinScenarios returns the embedded scenario catalog: the paper's six
+// model variants plus the extended failure/recovery regimes, each runnable
+// by name through Simulate (via Scenario.ClusterConfig) or the CLIs'
+// -scenario flag.
+func BuiltinScenarios() *ScenarioRegistry { return scenario.Builtin() }
+
+// ResolveScenarios returns the built-in catalog extended (and overridden,
+// name by name) by the scenario files in dir; an empty dir returns just the
+// built-ins.
+func ResolveScenarios(dir string) (*ScenarioRegistry, error) { return scenario.Resolve(dir) }
 
 // Figure is one reproduced paper figure: named series of measured points.
 type Figure = experiments.Figure
