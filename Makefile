@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke cover ci validate-scenarios figures figures-paper report examples clean
+.PHONY: all build test vet race bench bench-smoke cover ci validate-scenarios sweep-resume-smoke figures figures-paper report examples clean
 
 all: build vet test
 
@@ -55,10 +55,19 @@ validate-scenarios:
 	$(GO) test -run 'TestBuiltinCatalog|TestSmokeRunEveryScenario' ./internal/scenario
 	$(GO) test -run 'TestScenarioRegistryPinsVariants' ./internal/model
 
+# Crash-resume gate for the block-sharded sweep engine (internal/blocks):
+# plan a sweep into a run directory, race two real worker processes over
+# it, SIGKILL one mid-block, -resume, finish with a fresh worker, -reduce,
+# and require the merged journal to be byte-identical (timestamps aside)
+# to a monolithic single-process run — across two catalog scenarios.
+sweep-resume-smoke:
+	$(GO) test -count=1 -run 'TestCrashResumeBitIdentical' -v ./cmd/ccsweep
+	$(GO) test -run 'TestWorkersBitIdentical|TestTornJournalIsIncompleteNotFatal' ./internal/blocks
+
 # Everything the GitHub Actions workflow runs (.github/workflows/ci.yml),
-# locally: the tier-1 suite, the race tier, the coverage profile, and the
-# scenario-catalog gate.
-ci: all race cover validate-scenarios
+# locally: the tier-1 suite, the race tier, the coverage profile, the
+# scenario-catalog gate, and the sweep crash-resume gate.
+ci: all race cover validate-scenarios sweep-resume-smoke
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

@@ -5,16 +5,33 @@
 //
 //	ccjob -work 5000 -procs 65536 -mttf-years 1
 //	ccjob -work 5000 -config machine.json -reps 20
+//
+// Like ccsweep, a forecast can run as a resumable multi-process job
+// through a shared run directory (see internal/blocks): the reduced
+// result is bit-identical to the monolithic run regardless of worker
+// count or crashes.
+//
+//	ccjob -work 5000 -reps 100 -manifest run/   # plan
+//	ccjob -worker run/                          # any number of processes
+//	ccjob -status run/ ; ccjob -resume run/     # inspect / repair
+//	ccjob -reduce run/                          # merge and report
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"time"
 
 	"repro"
+	"repro/internal/blocks"
 	"repro/internal/configio"
+	"repro/internal/cyclesim"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -34,9 +51,51 @@ func run(args []string, stdout io.Writer) error {
 		intervalMin = fs.Float64("interval-min", 30, "checkpoint interval in minutes")
 		reps        = fs.Int("reps", 10, "independent replications")
 		seed        = fs.Uint64("seed", 1, "root random seed")
+
+		manifestDir = fs.String("manifest", "", "plan the forecast into this run directory and exit without simulating")
+		blockSize   = fs.Int("block-size", 1, "replications per claimable block when planning with -manifest")
+		workerDir   = fs.String("worker", "", "claim and execute blocks from this run directory until the forecast completes")
+		workerName  = fs.String("worker-name", "", "worker identity recorded in leases and journals (default <host>-<pid>)")
+		leaseTTL    = fs.Duration("lease-ttl", 10*time.Minute, "block lease time-to-live; a crashed worker's blocks are reclaimed after this long")
+		resumeDir   = fs.String("resume", "", "repair this run directory after a crash and exit")
+		statusDir   = fs.String("status", "", "print this run directory's progress and exit")
+		reduceDir   = fs.String("reduce", "", "merge this run directory's block journals and print the forecast")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch {
+	case *workerDir != "":
+		sum, err := blocks.Work(context.Background(), *workerDir, completionRunner(), blocks.WorkerOptions{
+			Name:     *workerName,
+			LeaseTTL: *leaseTTL,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ccjob: worker: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "worker %s done: %d blocks completed (%d reclaimed from crashed peers, %d already done)\n",
+			sum.Worker, sum.Completed, sum.Reclaimed, sum.SkippedComplete)
+		return nil
+	case *resumeDir != "":
+		rep, m, err := blocks.Resume(*resumeDir, time.Now())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "resume %s: %d/%d blocks complete, dropped %d torn journal(s), cleared %d expired lease(s)\n",
+			m.Name, rep.Complete, len(m.Blocks), len(rep.TornJournals), len(rep.ExpiredLeases))
+		return nil
+	case *statusDir != "":
+		m, st, err := blocks.Scan(*statusDir, time.Now())
+		if err != nil {
+			return err
+		}
+		return blocks.WriteStatus(stdout, m, st)
+	case *reduceDir != "":
+		return reduceCmd(*reduceDir, stdout)
 	}
 
 	cfg := repro.DefaultConfig()
@@ -66,14 +125,112 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *manifestDir != "" {
+		m, err := blocks.Plan([]blocks.Cell{{
+			Label:        fmt.Sprintf("work=%g", *work),
+			X:            *work,
+			Seed:         *seed,
+			Replications: *reps,
+			Config:       cfg,
+		}}, blocks.PlanOptions{
+			Name:      "job",
+			Kind:      blocks.KindCompletion,
+			Work:      *work,
+			BlockSize: *blockSize,
+		})
+		if err != nil {
+			return err
+		}
+		if err := blocks.CreateRun(*manifestDir, m); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "planned job: %d reps = %d blocks (size %d)\n", *reps, len(m.Blocks), m.BlockSize)
+		fmt.Fprintf(stdout, "manifest %s\n", m.Hash)
+		fmt.Fprintf(stdout, "run 'ccjob -worker %s' (any number of processes), then 'ccjob -reduce %s'\n",
+			*manifestDir, *manifestDir)
+		return nil
+	}
+
 	comp, err := repro.JobCompletionTime(cfg, *work, *reps, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "job                 %.0f h of useful work on %d processors\n", *work, cfg.Processors)
-	fmt.Fprintf(stdout, "expected completion %v h\n", comp.Mean)
-	fmt.Fprintf(stdout, "stretch factor      %.2fx over a failure-free machine\n", comp.Stretch())
-	fmt.Fprintf(stdout, "quantiles           p10 %.0f | p50 %.0f | p90 %.0f h\n",
+	writeCompletion(stdout, cfg.Processors, comp)
+	return nil
+}
+
+// writeCompletion renders the forecast — one function shared by the
+// monolithic path and -reduce, so the two outputs cannot drift.
+func writeCompletion(w io.Writer, processors int, comp repro.Completion) {
+	fmt.Fprintf(w, "job                 %.0f h of useful work on %d processors\n", comp.Work, processors)
+	fmt.Fprintf(w, "expected completion %v h\n", comp.Mean)
+	fmt.Fprintf(w, "stretch factor      %.2fx over a failure-free machine\n", comp.Stretch())
+	fmt.Fprintf(w, "quantiles           p10 %.0f | p50 %.0f | p90 %.0f h\n",
 		comp.Quantile(0.1), comp.Quantile(0.5), comp.Quantile(0.9))
+}
+
+// completionRunner is the completion-kind blocks.RunFunc: one cycle-engine
+// trajectory per pre-assigned seed, simulated until the job's work is
+// done. Identical to the replication loop in cyclesim.JobCompletion, so a
+// reduced run reproduces the monolithic forecast bit for bit.
+func completionRunner() blocks.RunFunc {
+	return func(ctx context.Context, m *blocks.Manifest, b blocks.Block) (blocks.BlockOutput, error) {
+		if m.Kind != blocks.KindCompletion {
+			return blocks.BlockOutput{}, fmt.Errorf("ccjob: cannot run %q blocks", m.Kind)
+		}
+		cell := m.Cells[b.CellIndex]
+		maxWall := m.Work * 1000
+		out := blocks.BlockOutput{}
+		for i, seed := range b.Seeds {
+			if err := ctx.Err(); err != nil {
+				return blocks.BlockOutput{}, err
+			}
+			s, err := cyclesim.New(cell.Config, seed)
+			if err != nil {
+				return blocks.BlockOutput{}, err
+			}
+			wall, err := s.CompletionTime(m.Work, maxWall)
+			if err != nil {
+				return blocks.BlockOutput{}, err
+			}
+			fields := map[string]any{
+				"rep":        b.RepStart + i,
+				"seed":       seed,
+				"wall_hours": wall,
+			}
+			if cell.Label != "" {
+				fields["label"] = cell.Label
+			}
+			out.Records = append(out.Records, blocks.Record{Kind: "replication", Fields: fields})
+		}
+		return out, nil
+	}
+}
+
+// reduceCmd merges the block journals back into the Completion summary a
+// monolithic run computes: samples folded in replication order (the CI
+// accumulates in the same order, so the interval is bit-identical), then
+// sorted for the quantiles.
+func reduceCmd(dir string, w io.Writer) error {
+	m, cells, err := blocks.Reduce(dir)
+	if err != nil {
+		if errors.Is(err, blocks.ErrIncomplete) {
+			return fmt.Errorf("%w; run '-resume %s' and '-worker %s' to finish, or '-status %s' to inspect", err, dir, dir, dir)
+		}
+		return err
+	}
+	if m.Kind != blocks.KindCompletion {
+		return fmt.Errorf("ccjob: %s holds a %q sweep; reduce it with ccsweep", dir, m.Kind)
+	}
+	c := cells[0]
+	var acc stats.Accumulator
+	samples := c.FlatValues()
+	for _, v := range samples {
+		acc.Add(v)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	comp := repro.Completion{Work: m.Work, Samples: sorted, Mean: acc.CI(m.Confidence)}
+	writeCompletion(w, c.Cell.Config.Processors, comp)
 	return nil
 }

@@ -5,22 +5,39 @@
 //	ccsweep -param interval-min -values 15,30,60,120,240 -procs 65536
 //	ccsweep -param mttf-years -values 0.5,1,2,4 -procs 131072
 //	ccsweep -param timeout-sec -values 20,60,100,120 -coordination max-of-n
+//
+// A sweep can also run as a resumable, multi-process job through a shared
+// run directory (see internal/blocks): plan it once, point any number of
+// worker processes — on any machines sharing the directory — at it, and
+// reduce when done. The reduced output is bit-identical to the monolithic
+// run above (timestamps aside), no matter how many workers ran or crashed.
+//
+//	ccsweep -param procs -values 8192,16384 -manifest run/   # plan
+//	ccsweep -worker run/            # claim blocks until the sweep is done
+//	ccsweep -status run/            # inspect progress
+//	ccsweep -resume run/            # repair after a crash (torn journals)
+//	ccsweep -reduce run/            # merge journals, print the table
 package main
 
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
-	"repro/internal/exec"
+	"repro/internal/blocks"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -48,10 +65,19 @@ func run(args []string) error {
 		warmup        = fs.Float64("warmup", 300, "transient hours to discard")
 		measure       = fs.Float64("measure", 1500, "measured hours per replication")
 		seed          = fs.Uint64("seed", 1, "root random seed")
-		workers       = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows (1 = sequential; results are identical for any value)")
-		journalPath   = fs.String("journal", "", "write a JSONL run journal (rows in input order, records labeled param=value) to this file")
+		workers       = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows, or in-block replications for -worker (1 = sequential; results are identical for any value)")
+		journalPath   = fs.String("journal", "", "write a JSONL run journal (rows in input order, records labeled param=value) to this file; with -reduce, the merged journal")
 		metrics       = fs.Bool("metrics", false, "print the collected telemetry table to stderr after the sweep")
 		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the sweep")
+
+		manifestDir = fs.String("manifest", "", "plan the sweep into this run directory (manifest + leases/ + journals/) and exit without simulating")
+		blockSize   = fs.Int("block-size", 1, "replications per claimable block when planning with -manifest")
+		workerDir   = fs.String("worker", "", "claim and execute blocks from this run directory until the sweep completes")
+		workerName  = fs.String("worker-name", "", "worker identity recorded in leases and journals (default <host>-<pid>)")
+		leaseTTL    = fs.Duration("lease-ttl", 10*time.Minute, "block lease time-to-live; a crashed worker's blocks are reclaimed after this long")
+		resumeDir   = fs.String("resume", "", "repair this run directory after a crash (drop torn journals, clear expired leases) and exit")
+		statusDir   = fs.String("status", "", "print this run directory's progress and exit")
+		reduceDir   = fs.String("reduce", "", "merge this run directory's block journals and print the sweep table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +89,36 @@ func run(args []string) error {
 	if *listScenarios {
 		return catalog.WriteList(os.Stdout)
 	}
+
+	var reg *repro.MetricsRegistry
+	if *metrics || *debugAddr != "" {
+		reg = repro.NewMetricsRegistry()
+	}
+	if *debugAddr != "" {
+		srv, err := repro.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ccsweep: debug endpoint on http://%s (/debug/pprof, /debug/vars, /metricz)\n", srv.Addr())
+	}
+
+	// Run-directory verbs need no sweep definition — the manifest carries it.
+	switch {
+	case *workerDir != "":
+		return workCmd(*workerDir, *workers, *workerName, *leaseTTL, reg, *metrics)
+	case *resumeDir != "":
+		return resumeCmd(*resumeDir, os.Stdout)
+	case *statusDir != "":
+		m, st, err := blocks.Scan(*statusDir, time.Now())
+		if err != nil {
+			return err
+		}
+		return blocks.WriteStatus(os.Stdout, m, st)
+	case *reduceDir != "":
+		return reduceCmd(*reduceDir, *journalPath, os.Stdout)
+	}
+
 	if *values == "" {
 		return fmt.Errorf("-values is required")
 	}
@@ -136,45 +192,52 @@ func run(args []string) error {
 		vals = append(vals, v)
 	}
 
-	var reg *repro.MetricsRegistry
-	if *metrics || *debugAddr != "" {
-		reg = repro.NewMetricsRegistry()
+	// The sweep is a grid plan whether it runs here or in detached workers:
+	// one cell per row, seeds pre-assigned by the planner. Monolithic mode
+	// is simply "plan, claim everything, reduce" inside this process.
+	cells := make([]blocks.Cell, len(vals))
+	for i, v := range vals {
+		cfg := base
+		apply(&cfg, v)
+		cells[i] = blocks.Cell{
+			Label:        fmt.Sprintf("%s=%g", *param, v),
+			X:            v,
+			Seed:         *seed + uint64(i)*1000003,
+			Replications: *reps,
+			Config:       cfg,
+		}
 	}
-	if *debugAddr != "" {
-		srv, err := repro.ServeDebug(*debugAddr, reg)
-		if err != nil {
+	opts := repro.Options{
+		Replications: *reps, Warmup: *warmup, Measure: *measure,
+		Seed: *seed, Workers: *workers, Metrics: reg,
+	}
+	m, err := runner.PlanGrid(*param, cells, *blockSize, opts)
+	if err != nil {
+		return err
+	}
+
+	if *manifestDir != "" {
+		if err := blocks.CreateRun(*manifestDir, m); err != nil {
 			return err
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "ccsweep: debug endpoint on http://%s (/debug/pprof, /debug/vars, /metricz)\n", srv.Addr())
+		fmt.Printf("planned %s: %d cells x %d reps = %d blocks (size %d)\n",
+			*param, len(m.Cells), *reps, len(m.Blocks), m.BlockSize)
+		fmt.Printf("manifest %s\n", m.Hash)
+		fmt.Printf("run 'ccsweep -worker %s' (any number of processes), then 'ccsweep -reduce %s'\n",
+			*manifestDir, *manifestDir)
+		return nil
 	}
 
 	// Each row journals into its own buffer; the buffers are concatenated
 	// in input order after the fan-out, so the journal file stays
 	// deterministic (modulo timestamps) at every worker count.
-	type row struct {
-		res     repro.Result
-		journal bytes.Buffer
-	}
-	pool := exec.Pool{Workers: exec.WorkerCount(*workers), Metrics: reg}
-	results, err := exec.Map(context.Background(), pool, len(vals),
-		func(_ context.Context, i int) (*row, error) {
-			cfg := base
-			apply(&cfg, vals[i])
-			r := &row{}
-			opts := repro.Options{
-				Replications: *reps, Warmup: *warmup, Measure: *measure,
-				Seed:    *seed + uint64(i)*1000003,
-				Workers: 1, // the row sweep is already parallel
-				Metrics: reg,
-				Label:   fmt.Sprintf("%s=%g", *param, vals[i]),
-			}
+	journals := make([]bytes.Buffer, len(vals))
+	results, err := runner.EstimateGrid(context.Background(), m, opts,
+		func(ci int, o repro.Options) repro.Options {
 			if *journalPath != "" {
-				opts.Journal = obs.NewJournal(&r.journal)
+				o.Journal = obs.NewJournal(&journals[ci])
 			}
-			var err error
-			r.res, err = repro.Simulate(cfg, opts)
-			return r, err
+			return o
 		})
 	if err != nil {
 		return err
@@ -185,8 +248,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		for _, r := range results {
-			if _, err := f.Write(r.journal.Bytes()); err != nil {
+		for i := range journals {
+			if _, err := f.Write(journals[i].Bytes()); err != nil {
 				f.Close()
 				return err
 			}
@@ -198,11 +261,101 @@ func run(args []string) error {
 
 	fmt.Printf("%-16s %-24s %-24s\n", *param, "useful work fraction", "total useful work")
 	for i, r := range results {
-		fmt.Printf("%-16g %-24v %-24v\n", vals[i], r.res.UsefulWorkFraction, r.res.TotalUsefulWork)
+		fmt.Printf("%-16g %-24v %-24v\n", vals[i], r.UsefulWorkFraction, r.TotalUsefulWork)
 	}
 	if *metrics {
 		fmt.Fprintln(os.Stderr, "telemetry")
 		reg.WriteTable(os.Stderr)
+	}
+	return nil
+}
+
+// workCmd runs one worker process against a shared run directory.
+func workCmd(dir string, workers int, name string, ttl time.Duration, reg *repro.MetricsRegistry, printMetrics bool) error {
+	if reg == nil {
+		// Workers always collect block telemetry; it feeds -status wall
+		// stats (via trailers) and, with -debug-addr, live dashboards.
+		reg = repro.NewMetricsRegistry()
+	}
+	sum, err := blocks.Work(context.Background(), dir, runner.BlockRunner(workers, reg), blocks.WorkerOptions{
+		Name:     name,
+		LeaseTTL: ttl,
+		Metrics:  reg,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ccsweep: worker: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %s done: %d blocks completed (%d reclaimed from crashed peers, %d already done), %d events\n",
+		sum.Worker, sum.Completed, sum.Reclaimed, sum.SkippedComplete, sum.Events)
+	if printMetrics {
+		fmt.Fprintln(os.Stderr, "telemetry")
+		reg.WriteTable(os.Stderr)
+	}
+	return nil
+}
+
+// resumeCmd repairs a crashed run directory and reports what it found.
+func resumeCmd(dir string, w io.Writer) error {
+	rep, m, err := blocks.Resume(dir, time.Now())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "resume %s: %d/%d blocks complete\n", m.Name, rep.Complete, len(m.Blocks))
+	if len(rep.TornJournals) > 0 {
+		fmt.Fprintf(w, "dropped %d torn journal(s) from crashed writers: blocks %v (will re-run)\n",
+			len(rep.TornJournals), rep.TornJournals)
+	}
+	if len(rep.ExpiredLeases) > 0 {
+		fmt.Fprintf(w, "cleared %d expired lease(s): blocks %v\n", len(rep.ExpiredLeases), rep.ExpiredLeases)
+	}
+	if rep.OrphanTemps > 0 {
+		fmt.Fprintf(w, "removed %d orphaned temp file(s)\n", rep.OrphanTemps)
+	}
+	if rep.Remaining == 0 {
+		fmt.Fprintln(w, "all blocks complete — ready to -reduce")
+	} else {
+		fmt.Fprintf(w, "%d block(s) remaining — run -worker to finish\n", rep.Remaining)
+	}
+	return nil
+}
+
+// reduceCmd merges the block journals and prints the same table a
+// monolithic run prints.
+func reduceCmd(dir, journalPath string, w io.Writer) error {
+	m, cells, err := blocks.Reduce(dir)
+	if err != nil {
+		if errors.Is(err, blocks.ErrIncomplete) {
+			return fmt.Errorf("%w; run '-resume %s' and '-worker %s' to finish, or '-status %s' to inspect", err, dir, dir, dir)
+		}
+		return err
+	}
+	if journalPath != "" {
+		f, err := os.Create(journalPath)
+		if err != nil {
+			return err
+		}
+		j := obs.NewJournal(f)
+		if err := blocks.WriteReduced(j, m, cells); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "%-16s %-24s %-24s\n", m.Name, "useful work fraction", "total useful work")
+	for _, c := range cells {
+		var frac, tot stats.Accumulator
+		for _, v := range c.FlatValues() {
+			frac.Add(v)
+		}
+		for _, v := range c.Totals {
+			tot.Add(v)
+		}
+		fmt.Fprintf(w, "%-16g %-24v %-24v\n", c.Cell.X, frac.CI(m.Confidence), tot.CI(m.Confidence))
 	}
 	return nil
 }

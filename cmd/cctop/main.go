@@ -137,8 +137,41 @@ func render(s obs.Snapshot, hist *history, addr string, width int) string {
 		fmt.Fprintf(&sb, "\nreplication wall time  p50 %.2fs  p90 %.2fs  p99 %.2fs  (n=%d)\n",
 			wall.P50, wall.P90, wall.P99, wall.Count)
 	}
+	if line := blocksLine(s); line != "" {
+		sb.WriteString(line)
+	}
 	if line := memLine(s); line != "" {
 		sb.WriteString(line)
+	}
+	return sb.String()
+}
+
+// blocksLine renders the sweep-block telemetry a distributed worker
+// (ccsweep/ccjob -worker) publishes: claim/complete progress against the
+// plan, crash reclaims, and the per-block wall-time distribution. Empty
+// when the process runs no block engine (no blocks.* counters), so
+// monolithic dashboards are unchanged.
+func blocksLine(s obs.Snapshot) string {
+	planned := s.Counters["blocks.planned"]
+	if planned == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nblocks        %d/%d completed by this worker",
+		s.Counters["blocks.completed"], planned)
+	if claimed := s.Counters["blocks.claimed"]; claimed > 0 {
+		fmt.Fprintf(&sb, " (%d claimed)", claimed)
+	}
+	if reclaimed := s.Counters["blocks.reclaimed"]; reclaimed > 0 {
+		fmt.Fprintf(&sb, "  ·  %d reclaimed from crashed peers", reclaimed)
+	}
+	if skipped := s.Counters["blocks.skipped"]; skipped > 0 {
+		fmt.Fprintf(&sb, "  ·  %d done elsewhere", skipped)
+	}
+	sb.WriteByte('\n')
+	if wall, ok := s.Timers["blocks.block_wall_s"]; ok && wall.Count > 0 {
+		fmt.Fprintf(&sb, "block wall    p50 %.2fs  p90 %.2fs  p99 %.2fs  (n=%d)\n",
+			wall.P50, wall.P90, wall.P99, wall.Count)
 	}
 	return sb.String()
 }

@@ -164,3 +164,31 @@ func TestGroupDigits(t *testing.T) {
 		}
 	}
 }
+
+func TestBlocksSection(t *testing.T) {
+	reg := liveRegistry()
+	snap := reg.Snapshot()
+	var hist history
+	hist.push(snap)
+	// Without blocks.* counters the section is absent entirely.
+	if out := render(snap, &hist, "x", 32); strings.Contains(out, "blocks") {
+		t.Fatalf("monolithic frame grew a blocks section:\n%s", out)
+	}
+	reg.Counter("blocks.planned").Add(12)
+	reg.Counter("blocks.claimed").Add(5)
+	reg.Counter("blocks.completed").Add(4)
+	reg.Counter("blocks.reclaimed").Add(1)
+	reg.Counter("blocks.skipped").Add(6)
+	reg.Timer("blocks.block_wall_s").Observe(2 * time.Second)
+	out := render(reg.Snapshot(), &hist, "x", 32)
+	for _, want := range []string{
+		"blocks        4/12 completed by this worker (5 claimed)",
+		"1 reclaimed from crashed peers",
+		"6 done elsewhere",
+		"block wall    p50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("frame missing %q:\n%s", want, out)
+		}
+	}
+}

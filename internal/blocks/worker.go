@@ -1,0 +1,318 @@
+package blocks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunFunc executes one claimed block and returns its replication records.
+// Implementations must be pure functions of (manifest, block) — every seed
+// the block needs is in b.Seeds — so that any worker, on any machine, at
+// any time produces identical records. internal/runner provides the
+// estimate-kind implementation; cmd/ccjob provides the completion kind.
+type RunFunc func(ctx context.Context, m *Manifest, b Block) (BlockOutput, error)
+
+// WorkerOptions configures a Work loop.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and trailers; default
+	// "<host>-<pid>".
+	Name string
+	// LeaseTTL bounds how long a crashed worker's claim pins a block.
+	// Default 10 minutes; it must comfortably exceed one block's wall
+	// time plus clock skew between machines sharing the directory.
+	LeaseTTL time.Duration
+	// Poll is the wait between scans when every remaining block is leased
+	// by someone else. Default 2 s.
+	Poll time.Duration
+	// Renew is the heartbeat interval for the held lease. Default
+	// LeaseTTL / 3.
+	Renew time.Duration
+	// ExitWhenIdle makes Work return as soon as a scan claims nothing,
+	// instead of polling until every block is complete. Default false:
+	// a worker normally outlives its peers' leases so a crashed peer's
+	// blocks are reclaimed and the sweep always finishes.
+	ExitWhenIdle bool
+	// Metrics, when non-nil, receives the block telemetry counters
+	// (blocks.planned/claimed/completed/reclaimed/skipped) and the
+	// per-block wall-time histogram blocks.block_wall_s.
+	Metrics *obs.Registry
+	// Log, when non-nil, receives one human line per worker event.
+	Log func(format string, args ...any)
+}
+
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Minute
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Second
+	}
+	if o.Renew <= 0 {
+		o.Renew = o.LeaseTTL / 3
+	}
+	return o
+}
+
+// Summary reports what one Work invocation did.
+type Summary struct {
+	// Worker is the resolved worker name.
+	Worker string
+	// Completed counts blocks this worker ran and committed.
+	Completed int
+	// Reclaimed counts completed blocks whose expired lease this worker
+	// broke first.
+	Reclaimed int
+	// SkippedComplete counts blocks that were already journaled when this
+	// worker first scanned them.
+	SkippedComplete int
+	// Events is the total simulation events across completed blocks.
+	Events uint64
+}
+
+// Work claims and executes blocks from the run directory until every block
+// has a committed journal (or, with ExitWhenIdle, until a scan finds
+// nothing claimable). It is safe to run any number of Work loops — in one
+// process or across machines — against the same directory; the lease files
+// arbitrate, and the temp+rename journal commit makes even a double-run of
+// the same block (possible only after a lease expires under a live worker)
+// converge, because both executions produce byte-identical records.
+func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (Summary, error) {
+	o = o.withDefaults()
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{Worker: o.Name}
+	var mPlanned, mClaimed, mCompleted, mReclaimed, mSkipped *obs.Counter
+	var mWall *obs.Timer
+	if reg := o.Metrics; reg != nil {
+		mPlanned = reg.Counter("blocks.planned")
+		mClaimed = reg.Counter("blocks.claimed")
+		mCompleted = reg.Counter("blocks.completed")
+		mReclaimed = reg.Counter("blocks.reclaimed")
+		mSkipped = reg.Counter("blocks.skipped")
+		mWall = reg.Timer("blocks.block_wall_s")
+		mPlanned.Add(uint64(len(m.Blocks)))
+	}
+	logf := o.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	seenComplete := make([]bool, len(m.Blocks))
+	for {
+		if err := ctx.Err(); err != nil {
+			return s, err
+		}
+		claimedAny := false
+		remaining := 0
+		for _, b := range m.Blocks {
+			if err := ctx.Err(); err != nil {
+				return s, err
+			}
+			if seenComplete[b.ID] {
+				continue
+			}
+			if BlockComplete(dir, m, b) {
+				if !claimedOnce(&seenComplete[b.ID]) {
+					continue
+				}
+				s.SkippedComplete++
+				if mSkipped != nil {
+					mSkipped.Inc()
+				}
+				continue
+			}
+			res, err := claim(dir, m, b.ID, o.Name, o.LeaseTTL, time.Now())
+			if err != nil {
+				return s, err
+			}
+			if res == claimHeld {
+				remaining++
+				continue
+			}
+			if res == claimReclaimed {
+				s.Reclaimed++
+				if mReclaimed != nil {
+					mReclaimed.Inc()
+				}
+				logf("block %d: reclaimed expired lease", b.ID)
+			}
+			if mClaimed != nil {
+				mClaimed.Inc()
+			}
+			claimedAny = true
+			if err := executeBlock(ctx, dir, m, b, run, o); err != nil {
+				// Leave no lease behind: the failed block returns to the
+				// claimable pool immediately rather than after a TTL.
+				release(dir, b.ID)
+				return s, err
+			}
+			seenComplete[b.ID] = true
+			s.Completed++
+			tr, _, _ := trailerOf(dir, m, b)
+			if tr != nil {
+				s.Events += tr.Events
+				if mWall != nil {
+					mWall.Observe(time.Duration(tr.WallMS * float64(time.Millisecond)))
+				}
+			}
+			if mCompleted != nil {
+				mCompleted.Inc()
+			}
+			logf("block %d: completed (%d reps, cell %d)", b.ID, b.Reps(), b.CellIndex)
+		}
+		if remaining == 0 && !claimedAny {
+			return s, nil // every block has a committed journal
+		}
+		if !claimedAny {
+			if o.ExitWhenIdle {
+				logf("%d blocks still leased by other workers; exiting (idle)", remaining)
+				return s, nil
+			}
+			// Everything left is leased elsewhere: wait for completion or
+			// for a lease to expire so it can be reclaimed.
+			select {
+			case <-ctx.Done():
+				return s, ctx.Err()
+			case <-time.After(o.Poll):
+			}
+		}
+	}
+}
+
+// claimedOnce flips a bool and reports whether it was already set — a tiny
+// helper so already-complete blocks are counted as skipped exactly once.
+func claimedOnce(b *bool) bool {
+	was := *b
+	*b = true
+	return was
+}
+
+// executeBlock runs one claimed block under a renewal heartbeat and
+// commits its journal.
+func executeBlock(ctx context.Context, dir string, m *Manifest, b Block, run RunFunc, o WorkerOptions) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(o.Renew)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				renew(dir, m, b.ID, o.Name, o.LeaseTTL, time.Now())
+			}
+		}
+	}()
+	defer func() {
+		stopHB()
+		<-hbDone
+	}()
+	start := time.Now()
+	out, err := run(ctx, m, b)
+	if err != nil {
+		return fmt.Errorf("blocks: block %d: %w", b.ID, err)
+	}
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err := writeBlockJournal(dir, m, b, out, o.Name, wallMS); err != nil {
+		return err
+	}
+	return release(dir, b.ID)
+}
+
+// trailerOf fetches a block's trailer, reporting incompleteness distinctly.
+func trailerOf(dir string, m *Manifest, b Block) (*Trailer, bool, error) {
+	_, tr, err := ReadBlockJournal(dir, m, b)
+	if err != nil {
+		if errors.Is(err, ErrIncomplete) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return tr, true, nil
+}
+
+// ResumeReport says what a Resume sweep found and repaired.
+type ResumeReport struct {
+	// TornJournals lists blocks whose journal existed but did not commit
+	// (torn final line, missing trailer); the files were removed so the
+	// blocks return to the claimable pool.
+	TornJournals []int
+	// ExpiredLeases lists blocks whose lease had lapsed; the leases were
+	// removed.
+	ExpiredLeases []int
+	// OrphanTemps counts abandoned temp files removed from the journal
+	// and lease directories.
+	OrphanTemps int
+	// Complete and Remaining count the blocks after the sweep.
+	Complete, Remaining int
+}
+
+// Resume validates a crashed run directory and returns it to a cleanly
+// resumable state: incomplete journals (the torn output of killed writers)
+// are deleted so their blocks re-run, expired leases are cleared so the
+// blocks are immediately claimable, and abandoned temp files are removed.
+// It never touches a committed journal or a live lease, so running it
+// beside active workers is safe.
+func Resume(dir string, now time.Time) (ResumeReport, *Manifest, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return ResumeReport{}, nil, err
+	}
+	var rep ResumeReport
+	for _, b := range m.Blocks {
+		_, _, jerr := ReadBlockJournal(dir, m, b)
+		switch {
+		case jerr == nil:
+			rep.Complete++
+			continue
+		case errors.Is(jerr, ErrIncomplete):
+			rep.Remaining++
+			if _, statErr := os.Stat(JournalPath(dir, b.ID)); statErr == nil {
+				if err := os.Remove(JournalPath(dir, b.ID)); err != nil {
+					return rep, m, fmt.Errorf("blocks: %w", err)
+				}
+				rep.TornJournals = append(rep.TornJournals, b.ID)
+			}
+		default:
+			return rep, m, jerr
+		}
+		l, lerr := readLease(LeasePath(dir, b.ID))
+		if lerr == nil && l.Expired(now) {
+			if err := os.Remove(LeasePath(dir, b.ID)); err != nil && !os.IsNotExist(err) {
+				return rep, m, fmt.Errorf("blocks: %w", err)
+			}
+			rep.ExpiredLeases = append(rep.ExpiredLeases, b.ID)
+		}
+	}
+	for _, sub := range []string{journalDir, leaseDir} {
+		entries, err := os.ReadDir(filepath.Join(dir, sub))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") || strings.Contains(e.Name(), ".stale-") {
+				if os.Remove(filepath.Join(dir, sub, e.Name())) == nil {
+					rep.OrphanTemps++
+				}
+			}
+		}
+	}
+	return rep, m, nil
+}

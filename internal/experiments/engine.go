@@ -2,10 +2,11 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/blocks"
 	"repro/internal/cluster"
-	"repro/internal/exec"
 	"repro/internal/runner"
 )
 
@@ -20,51 +21,56 @@ type seriesSpec struct {
 	mutate func(cfg *cluster.Config, x float64)
 }
 
-// runSpecs measures every cell of the given specs on the bounded worker
-// pool (opts.Workers; a cell is the unit of parallelism, so each cell's
-// replications run sequentially) and assembles the series in declaration
-// order. A cell's seed depends only on (opts.Seed, series name, x index) —
-// the same derivation the sequential sweeps used — so the whole grid is
-// bit-identical for every worker count and scheduling.
+// runSpecs measures every cell of the given specs as one block-planned
+// grid (runner.PlanGrid → runner.EstimateGrid): the figure's whole
+// (series × x) space is declared as manifest cells up front and fans out
+// on the bounded worker pool (opts.Workers; a cell is the unit of
+// parallelism, so each cell's replications run sequentially), then the
+// series are assembled in declaration order. A cell's seed depends only on
+// (opts.Seed, series name, x index) — the same derivation the sequential
+// sweeps used — so the whole grid is bit-identical for every worker count
+// and scheduling, and a figure can equally be exported as a run directory
+// and computed by detached workers.
 func runSpecs(specs []seriesSpec, opts runner.Options) ([]Series, error) {
 	type cellRef struct{ si, xi int }
-	var cells []cellRef
+	var refs []cellRef
+	var cells []blocks.Cell
 	for si, sp := range specs {
-		for xi := range sp.xs {
-			cells = append(cells, cellRef{si, xi})
-		}
-	}
-	pool := exec.Pool{Workers: exec.WorkerCount(opts.Workers), Metrics: opts.Metrics}
-	points, err := exec.Map(context.Background(), pool, len(cells),
-		func(_ context.Context, i int) (Point, error) {
-			sp := specs[cells[i].si]
-			x := sp.xs[cells[i].xi]
+		for xi, x := range sp.xs {
 			cfg := sp.base
 			sp.mutate(&cfg, x)
-			o := opts
-			o.Seed = opts.Seed*1000003 + uint64(cells[i].xi)*7919 + hashName(sp.name)
-			o.Workers = 1 // the grid is already parallel; don't oversubscribe
-			o.Progress = nil
-			// Cells complete in scheduling order, so a shared journal would
-			// interleave nondeterministically; cells keep metrics (order-free
-			// atomics) but never journal. The cell label still tags them.
-			o.Journal = nil
-			o.Label = fmt.Sprintf("%s@%g", sp.name, x)
-			p, err := cell(cfg, x, o)
-			if err != nil {
-				return Point{}, fmt.Errorf("experiments: series %s x=%v: %w", sp.name, x, err)
-			}
-			return p, nil
-		})
+			refs = append(refs, cellRef{si, xi})
+			cells = append(cells, blocks.Cell{
+				Label:  fmt.Sprintf("%s@%g", sp.name, x),
+				X:      x,
+				Seed:   opts.Seed*1000003 + uint64(xi)*7919 + hashName(sp.name),
+				Config: cfg,
+			})
+		}
+	}
+	m, err := runner.PlanGrid("experiments", cells, 0, opts)
 	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	results, err := runner.EstimateGrid(context.Background(), m, opts, nil)
+	if err != nil {
+		var ce *runner.CellError
+		if errors.As(err, &ce) {
+			ref := refs[ce.Index]
+			return nil, fmt.Errorf("experiments: series %s x=%v: %w", specs[ref.si].name, specs[ref.si].xs[ref.xi], ce.Err)
+		}
 		return nil, err
 	}
 	out := make([]Series, len(specs))
 	for si, sp := range specs {
 		out[si] = Series{Name: sp.name, Points: make([]Point, 0, len(sp.xs))}
 	}
-	for i, c := range cells {
-		out[c.si].Points = append(out[c.si].Points, points[i])
+	for i, ref := range refs {
+		out[ref.si].Points = append(out[ref.si].Points, Point{
+			X:        cells[i].X,
+			Fraction: results[i].UsefulWorkFraction,
+			Total:    results[i].TotalUsefulWork,
+		})
 	}
 	return out, nil
 }
@@ -78,15 +84,6 @@ func sweep(base cluster.Config, name string, xs []float64,
 		return Series{}, err
 	}
 	return series[0], nil
-}
-
-// cell estimates one configuration and converts it to a Point.
-func cell(cfg cluster.Config, x float64, opts runner.Options) (Point, error) {
-	res, err := runner.Estimate(cfg, opts)
-	if err != nil {
-		return Point{}, err
-	}
-	return Point{X: x, Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork}, nil
 }
 
 // hashName derives a stable seed component from a series name.

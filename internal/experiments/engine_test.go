@@ -54,11 +54,11 @@ func TestRunSpecsSeedMatchesLegacySweep(t *testing.T) {
 		o := opts
 		o.Workers = 1
 		o.Seed = opts.Seed*1000003 + uint64(i)*7919 + hashName(name)
-		p, err := cell(cfg, x, o)
+		res, err := runner.Estimate(cfg, o)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want.Points = append(want.Points, p)
+		want.Points = append(want.Points, Point{X: x, Fraction: res.UsefulWorkFraction, Total: res.TotalUsefulWork})
 	}
 	if !reflect.DeepEqual(got.Points, want.Points) {
 		t.Fatalf("parallel sweep diverged from legacy seeding:\n got %+v\nwant %+v", got.Points, want.Points)

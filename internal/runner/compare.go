@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blocks"
 	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/model"
@@ -66,7 +67,24 @@ func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Com
 	if err := b.Validate(); err != nil {
 		return Comparison{}, fmt.Errorf("runner: config B: %w", err)
 	}
-	seeds := replicationSeeds(opts.Seed, opts.Replications)
+	// A comparison is a two-cell plan sharing one root seed: cell A and
+	// cell B draw identical seed streams, which is the common-random-numbers
+	// pairing. Planning it through the block planner keeps the seed
+	// derivation in one place.
+	plan, err := blocks.Plan([]blocks.Cell{
+		{Label: "A", Seed: opts.Seed, Replications: opts.Replications, Config: a},
+		{Label: "B", Seed: opts.Seed, Replications: opts.Replications, Config: b},
+	}, blocks.PlanOptions{
+		Name:       "compare",
+		Warmup:     opts.Warmup,
+		Measure:    opts.Measure,
+		Confidence: opts.Confidence,
+		BlockSize:  opts.Replications,
+	})
+	if err != nil {
+		return Comparison{}, fmt.Errorf("runner: %w", err)
+	}
+	seeds := plan.Blocks[0].Seeds // == Blocks[1].Seeds: same root seed
 	type pair struct{ a, b model.Metrics }
 	var events atomic.Uint64
 	// One cache per worker covers both configurations: a worker holds at
@@ -153,7 +171,7 @@ func runOne(cfg cluster.Config, seed uint64, opts Options, cache *instanceCache)
 		return repOut{}, err
 	}
 	var sh *obs.Shard
-	if opts.Metrics != nil || opts.Journal != nil {
+	if opts.Metrics != nil || opts.Journal != nil || opts.forceSim {
 		reg := opts.Metrics
 		if reg == nil {
 			reg = obs.NewRegistry()
@@ -190,7 +208,7 @@ func runOne(cfg cluster.Config, seed uint64, opts Options, cache *instanceCache)
 	}
 	if sh != nil {
 		in.FlushEngineStats()
-		if opts.Journal != nil {
+		if opts.Journal != nil || opts.forceSim {
 			out.sim = sh.Snapshot()
 		}
 		sh.Merge()

@@ -12,12 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blocks"
 	"repro/internal/cluster"
 	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/phasetrace"
-	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -71,6 +71,11 @@ type Options struct {
 	// (phase.hours.*) and the journal, and recording is purely
 	// observational: the trajectory is bit-identical with or without it.
 	VerifySpans bool
+	// forceSim makes every replication snapshot its simulator telemetry
+	// even without a Journal. BlockRunner sets it: block workers carry no
+	// journal of their own but must hand back records carrying the same
+	// "sim" field a monolithic journaling run would write.
+	forceSim bool
 }
 
 // Progress is a snapshot of an in-flight estimation.
@@ -193,11 +198,28 @@ func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Res
 	if err := cfg.Validate(); err != nil {
 		return Result{}, fmt.Errorf("runner: %w", err)
 	}
-	// Seeds are drawn from the root stream in replication order before any
-	// replication is dispatched, so the assignment seed↔replication is a
-	// pure function of opts.Seed — the core of the worker-count
-	// determinism guarantee.
-	seeds := replicationSeeds(opts.Seed, opts.Replications)
+	// A single estimate is the degenerate sweep: one cell, planned through
+	// the same block planner the distributed engine uses, then "claimed"
+	// whole and reduced in this process. Every replication's seed is
+	// therefore fixed by the plan before any replication is dispatched —
+	// a pure function of opts.Seed — which is the core of both the
+	// worker-count and the process-count determinism guarantees.
+	plan, err := blocks.Plan([]blocks.Cell{{
+		Label:        opts.Label,
+		Seed:         opts.Seed,
+		Replications: opts.Replications,
+		Config:       cfg,
+	}}, blocks.PlanOptions{
+		Name:       "estimate",
+		Warmup:     opts.Warmup,
+		Measure:    opts.Measure,
+		Confidence: opts.Confidence,
+		BlockSize:  opts.Replications,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("runner: %w", err)
+	}
+	seeds := plan.Blocks[0].Seeds
 	start := time.Now()
 	var events atomic.Uint64
 	// Each worker carries one instance cache: the model is built on the
@@ -254,10 +276,43 @@ func recordEstimate(opts Options, outs []repOut, res Result, elapsed time.Durati
 	obs.RecordMemStats(reg)
 }
 
+// repFields builds one trajectory's "replication" record fields — shared
+// verbatim between the monolithic journal writer below and BlockRunner, so
+// a block journal's records and a monolithic journal's records are the
+// same bytes. Everything except ci_half_width, which depends on the
+// replications before this one and is appended by whoever knows the prefix
+// (writeJournal here, the block writer block-locally, the reducer
+// cell-globally).
+func repFields(rep int, seed uint64, o repOut, opts Options) map[string]any {
+	fields := map[string]any{
+		"rep":             rep,
+		"seed":            seed,
+		"events":          o.fired,
+		"useful_fraction": o.metrics.UsefulWorkFraction,
+		"total_useful":    o.metrics.TotalUsefulWork,
+		"counters":        o.metrics.Counters,
+		"wall_ms":         float64(o.wall) / float64(time.Millisecond),
+	}
+	if o.sim != nil {
+		fields["sim"] = o.sim
+	}
+	if opts.VerifySpans {
+		fields["span_useful_fraction"] = o.spanFrac
+		fields["span_delta"] = o.spanFrac - o.metrics.UsefulWorkFraction
+		fields["rollbacks"] = o.rollbacks
+		fields["phase_hours"] = phaseHours(o.phase)
+	}
+	if opts.Label != "" {
+		fields["label"] = opts.Label
+	}
+	return fields
+}
+
 // writeJournal emits one "replication" record per trajectory plus the
 // closing "estimate" record, strictly in replication order. Every field is
 // a pure function of (cfg, opts, seeds) except wall_ms and the timestamp,
-// which is what makes journals comparable across worker counts.
+// which is what makes journals comparable across worker counts — and,
+// through blocks.EstimateFields, across process counts.
 func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error {
 	j := opts.Journal
 	var acc stats.Accumulator
@@ -265,45 +320,21 @@ func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error
 	for r, o := range outs {
 		acc.Add(o.metrics.UsefulWorkFraction)
 		events += o.fired
-		fields := map[string]any{
-			"rep":             r,
-			"seed":            seeds[r],
-			"events":          o.fired,
-			"useful_fraction": o.metrics.UsefulWorkFraction,
-			"total_useful":    o.metrics.TotalUsefulWork,
-			"counters":        o.metrics.Counters,
-			"wall_ms":         float64(o.wall) / float64(time.Millisecond),
-		}
-		if o.sim != nil {
-			fields["sim"] = o.sim
-		}
-		if opts.VerifySpans {
-			fields["span_useful_fraction"] = o.spanFrac
-			fields["span_delta"] = o.spanFrac - o.metrics.UsefulWorkFraction
-			fields["rollbacks"] = o.rollbacks
-			fields["phase_hours"] = phaseHours(o.phase)
-		}
+		fields := repFields(r, seeds[r], o, opts)
 		// The prefix CI half-width after this replication — the raw
 		// convergence trajectory, one point per record.
 		fields["ci_half_width"] = acc.Convergence(opts.Confidence).HalfWidth
-		if opts.Label != "" {
-			fields["label"] = opts.Label
-		}
 		if err := j.Record("replication", fields); err != nil {
 			return err
 		}
 	}
 	fracs := make([]float64, len(outs))
+	totals := make([]float64, len(outs))
 	for i, o := range outs {
 		fracs[i] = o.metrics.UsefulWorkFraction
+		totals[i] = o.metrics.TotalUsefulWork
 	}
-	fields := map[string]any{
-		"replications":    len(outs),
-		"events":          events,
-		"useful_fraction": ivMap(res.UsefulWorkFraction),
-		"total_useful":    ivMap(res.TotalUsefulWork),
-		"convergence":     stats.ConvergenceTrajectory(fracs, opts.Confidence),
-	}
+	fields := blocks.EstimateFields(opts.Confidence, [][]float64{fracs}, totals, events, opts.Label)
 	if sc := res.SpanCheck; sc != nil {
 		fields["span_check"] = map[string]any{
 			"reward_mean": sc.RewardMean,
@@ -312,9 +343,6 @@ func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error
 			"tolerance":   sc.Tolerance,
 			"within":      sc.Within,
 		}
-	}
-	if opts.Label != "" {
-		fields["label"] = opts.Label
 	}
 	return j.Record("estimate", fields)
 }
@@ -329,32 +357,6 @@ func phaseHours(b phasetrace.Budget) map[string]float64 {
 		}
 	}
 	return out
-}
-
-// ivMap flattens an interval for the journal, nulling a non-finite
-// half-width (n < 2) the same way obs.Journal treats top-level floats.
-func ivMap(iv stats.Interval) map[string]any {
-	var hw any = iv.HalfWide
-	if math.IsInf(iv.HalfWide, 0) || math.IsNaN(iv.HalfWide) {
-		hw = nil
-	}
-	return map[string]any{
-		"mean":       iv.Mean,
-		"half_width": hw,
-		"level":      iv.Level,
-		"n":          iv.N,
-	}
-}
-
-// replicationSeeds derives one independent sub-stream seed per replication
-// from the root seed.
-func replicationSeeds(seed uint64, n int) []uint64 {
-	root := rng.New(seed)
-	seeds := make([]uint64, n)
-	for r := range seeds {
-		seeds[r] = root.Uint64()
-	}
-	return seeds
 }
 
 // pool builds the exec pool for opts, bridging pool snapshots to the

@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -60,6 +61,13 @@ func (w *Writer) Flush() error {
 // event, small enough that a binary file fed in by mistake fails fast).
 const maxLineBytes = 4 << 20
 
+// ErrTruncated marks an event cut off mid-object — the signature a crashed
+// or killed writer leaves on its final line. Callers that replay traces
+// from crash-prone producers (the resumable sweep engine, -resume
+// tooling) match it with errors.Is and treat the file as incomplete work
+// to redo, instead of aborting on a parse failure.
+var ErrTruncated = errors.New("truncated event (partial JSON object — incomplete trace file?)")
+
 // Reader iterates NDJSON events line by line. Malformed input produces a
 // line-numbered error rather than a silent stop: bad JSON, trailing bytes
 // after an object, and a truncated (unterminated) last line are all
@@ -88,7 +96,7 @@ func (r *Reader) Next() (Event, error) {
 		var ev Event
 		if err := dec.Decode(&ev); err != nil {
 			if err == io.ErrUnexpectedEOF || err == io.EOF {
-				return Event{}, fmt.Errorf("trace: line %d: truncated event (partial JSON object — incomplete trace file?)", r.line)
+				return Event{}, fmt.Errorf("trace: line %d: %w", r.line, ErrTruncated)
 			}
 			return Event{}, fmt.Errorf("trace: line %d: %w", r.line, err)
 		}

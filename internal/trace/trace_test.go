@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"strings"
@@ -159,5 +160,22 @@ func TestInterArrivals(t *testing.T) {
 	}
 	if got := InterArrivals(events[:1], "fail"); got != nil {
 		t.Fatalf("single occurrence gaps = %v", got)
+	}
+}
+
+// TestTruncatedIsSentinel: crash-aware consumers (the resumable sweep
+// engine's -resume path) distinguish a torn final line from genuinely
+// malformed input with errors.Is, so a crashed writer's trace is redone
+// rather than treated as corrupt.
+func TestTruncatedIsSentinel(t *testing.T) {
+	full := `{"t":1,"activity":"a"}`
+	_, err := ReadAll(strings.NewReader(full + "\n" + `{"t":2,"activ`))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn line error = %v, want errors.Is(_, ErrTruncated)", err)
+	}
+	// Structurally bad JSON is NOT a truncation — it must stay a hard error.
+	_, err = ReadAll(strings.NewReader(`{"t":"not-a-number","activity":7}`))
+	if err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("malformed line error = %v, want hard non-truncation error", err)
 	}
 }
