@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke cover ci validate-scenarios sweep-resume-smoke figures figures-paper report examples clean
+.PHONY: all build test vet race bench bench-smoke cover ci validate-scenarios sweep-resume-smoke obs-smoke figures figures-paper report examples clean
 
 all: build vet test
 
@@ -64,10 +64,25 @@ sweep-resume-smoke:
 	$(GO) test -count=1 -run 'TestCrashResumeBitIdentical' -v ./cmd/ccsweep
 	$(GO) test -run 'TestWorkersBitIdentical|TestTornJournalIsIncompleteNotFatal' ./internal/blocks
 
+# Fleet-telemetry gate: two real worker processes run a planned sweep with
+# fast heartbeats, one is SIGKILLed mid-block, and the run directory's
+# telemetry must tell the story — victim flagged dead by heartbeat age
+# with its flight-recorder postmortem intact, survivor's final snapshot
+# says "done", -fleet/-timeline emit valid JSON (Perfetto-loadable, one
+# track per worker, a span per committed block), and the merged fleet
+# registry renders as parseable Prometheus text exposition. Plus the
+# in-process gates: snapshot-merge property, Scan state partition,
+# /metricz.prom endpoint.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestFleetTelemetryEndToEnd' -v ./cmd/ccsweep
+	$(GO) test -run 'TestMergeSnapshots|TestWriteProm|TestDebugServerPromEndpoint|TestFlightRecorder' ./internal/obs
+	$(GO) test -run 'TestScanStateSingleValued|TestWorkWritesHeartbeats|TestCollectFleet|TestWriteTimeline' ./internal/blocks
+
 # Everything the GitHub Actions workflow runs (.github/workflows/ci.yml),
 # locally: the tier-1 suite, the race tier, the coverage profile, the
-# scenario-catalog gate, and the sweep crash-resume gate.
-ci: all race cover validate-scenarios sweep-resume-smoke
+# scenario-catalog gate, the sweep crash-resume gate, and the fleet
+# telemetry gate.
+ci: all race cover validate-scenarios sweep-resume-smoke obs-smoke
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

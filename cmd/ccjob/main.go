@@ -31,6 +31,7 @@ import (
 	"repro/internal/blocks"
 	"repro/internal/configio"
 	"repro/internal/cyclesim"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -60,6 +61,8 @@ func run(args []string, stdout io.Writer) error {
 		resumeDir   = fs.String("resume", "", "repair this run directory after a crash and exit")
 		statusDir   = fs.String("status", "", "print this run directory's progress and exit")
 		reduceDir   = fs.String("reduce", "", "merge this run directory's block journals and print the forecast")
+		jsonOut     = fs.Bool("json", false, "with -status: emit machine-readable JSON instead of the table")
+		hbEvery     = fs.Duration("heartbeat-every", time.Second, "worker telemetry snapshot cadence for heartbeats/<worker>.json; negative disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +73,11 @@ func run(args []string, stdout io.Writer) error {
 		sum, err := blocks.Work(context.Background(), *workerDir, completionRunner(), blocks.WorkerOptions{
 			Name:     *workerName,
 			LeaseTTL: *leaseTTL,
+			// The registry rides along in heartbeat snapshots, giving the
+			// fleet view block counters even for completion workers.
+			Metrics:       obs.NewRegistry(),
+			Heartbeat:     *hbEvery,
+			HandleSignals: true,
 			Log: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "ccjob: worker: "+format+"\n", args...)
 			},
@@ -92,6 +100,9 @@ func run(args []string, stdout io.Writer) error {
 		m, st, err := blocks.Scan(*statusDir, time.Now())
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return blocks.WriteStatusJSON(stdout, m, st)
 		}
 		return blocks.WriteStatus(stdout, m, st)
 	case *reduceDir != "":

@@ -23,6 +23,9 @@ func TestMain(m *testing.M) {
 	if dir := os.Getenv("CCSWEEP_E2E_WORKER"); dir != "" {
 		args := []string{"-worker", dir, "-workers", "1",
 			"-worker-name", os.Getenv("CCSWEEP_E2E_NAME"), "-lease-ttl", "1s"}
+		if hb := os.Getenv("CCSWEEP_E2E_HEARTBEAT"); hb != "" {
+			args = append(args, "-heartbeat-every", hb)
+		}
 		if err := run(args); err != nil {
 			fmt.Fprintln(os.Stderr, "e2e worker:", err)
 			os.Exit(1)

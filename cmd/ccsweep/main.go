@@ -14,14 +14,24 @@
 //
 //	ccsweep -param procs -values 8192,16384 -manifest run/   # plan
 //	ccsweep -worker run/            # claim blocks until the sweep is done
-//	ccsweep -status run/            # inspect progress
+//	ccsweep -status run/            # inspect progress (-json for machines)
 //	ccsweep -resume run/            # repair after a crash (torn journals)
 //	ccsweep -reduce run/            # merge journals, print the table
+//
+// A live run's telemetry lives in the directory too: each worker drops a
+// periodic heartbeat snapshot (progress, metrics registry, flight
+// recorder) into heartbeats/, and the journals/leases already encode every
+// block's life. Three verbs surface it:
+//
+//	ccsweep -fleet run/             # fleet view JSON (workers alive/stale/dead)
+//	ccsweep -timeline run/          # Chrome trace-event JSON for Perfetto
+//	cctop -run run/                 # live fleet dashboard (see cmd/cctop)
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -78,6 +88,10 @@ func run(args []string) error {
 		resumeDir   = fs.String("resume", "", "repair this run directory after a crash (drop torn journals, clear expired leases) and exit")
 		statusDir   = fs.String("status", "", "print this run directory's progress and exit")
 		reduceDir   = fs.String("reduce", "", "merge this run directory's block journals and print the sweep table")
+		jsonOut     = fs.Bool("json", false, "with -status: emit machine-readable JSON instead of the table")
+		fleetDir    = fs.String("fleet", "", "print this run directory's fleet view (worker heartbeats fused with block status) as JSON and exit")
+		timelineDir = fs.String("timeline", "", "write this run directory's span timeline as Chrome trace-event JSON to stdout (load in Perfetto)")
+		hbEvery     = fs.Duration("heartbeat-every", time.Second, "worker telemetry snapshot cadence for heartbeats/<worker>.json; negative disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,7 +120,7 @@ func run(args []string) error {
 	// Run-directory verbs need no sweep definition — the manifest carries it.
 	switch {
 	case *workerDir != "":
-		return workCmd(*workerDir, *workers, *workerName, *leaseTTL, reg, *metrics)
+		return workCmd(*workerDir, *workers, *workerName, *leaseTTL, *hbEvery, reg, *metrics)
 	case *resumeDir != "":
 		return resumeCmd(*resumeDir, os.Stdout)
 	case *statusDir != "":
@@ -114,7 +128,14 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			return blocks.WriteStatusJSON(os.Stdout, m, st)
+		}
 		return blocks.WriteStatus(os.Stdout, m, st)
+	case *fleetDir != "":
+		return fleetCmd(*fleetDir, os.Stdout)
+	case *timelineDir != "":
+		return blocks.WriteTimeline(os.Stdout, *timelineDir, time.Now())
 	case *reduceDir != "":
 		return reduceCmd(*reduceDir, *journalPath, os.Stdout)
 	}
@@ -271,16 +292,21 @@ func run(args []string) error {
 }
 
 // workCmd runs one worker process against a shared run directory.
-func workCmd(dir string, workers int, name string, ttl time.Duration, reg *repro.MetricsRegistry, printMetrics bool) error {
+func workCmd(dir string, workers int, name string, ttl, hbEvery time.Duration, reg *repro.MetricsRegistry, printMetrics bool) error {
 	if reg == nil {
 		// Workers always collect block telemetry; it feeds -status wall
-		// stats (via trailers) and, with -debug-addr, live dashboards.
+		// stats (via trailers), the heartbeat snapshots, and, with
+		// -debug-addr, live dashboards.
 		reg = repro.NewMetricsRegistry()
 	}
 	sum, err := blocks.Work(context.Background(), dir, runner.BlockRunner(workers, reg), blocks.WorkerOptions{
-		Name:     name,
-		LeaseTTL: ttl,
-		Metrics:  reg,
+		Name:      name,
+		LeaseTTL:  ttl,
+		Metrics:   reg,
+		Heartbeat: hbEvery,
+		// SIGTERM/SIGINT flush a final heartbeat naming the signal, so an
+		// orderly kill leaves its reason in the run directory.
+		HandleSignals: true,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "ccsweep: worker: "+format+"\n", args...)
 		},
@@ -295,6 +321,27 @@ func workCmd(dir string, workers int, name string, ttl time.Duration, reg *repro
 		reg.WriteTable(os.Stderr)
 	}
 	return nil
+}
+
+// fleetCmd prints the run directory's fleet view — worker heartbeats
+// judged for liveness, fused with block status — as one JSON document.
+// cctop -run renders the same data for humans.
+func fleetCmd(dir string, w io.Writer) error {
+	m, st, fl, err := blocks.CollectFleet(dir, time.Now(), blocks.FleetOptions{})
+	if err != nil {
+		return err
+	}
+	out := struct {
+		Name     string       `json:"name"`
+		Hash     string       `json:"hash"`
+		Planned  int          `json:"planned"`
+		Complete int          `json:"complete"`
+		Done     bool         `json:"done"`
+		Fleet    blocks.Fleet `json:"fleet"`
+	}{m.Name, m.Hash, st.Planned, st.Complete, st.Done(), fl}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // resumeCmd repairs a crashed run directory and reports what it found.

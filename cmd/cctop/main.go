@@ -9,6 +9,16 @@
 //
 // By default each frame clears the screen; -plain appends frames instead
 // (for logs or pipes), and -n bounds the number of polls.
+//
+// With -run it watches a distributed sweep's shared run directory instead
+// of an HTTP endpoint: worker heartbeats (heartbeats/<worker>.json) fused
+// with block status become a fleet dashboard — workers alive/stale/dead by
+// heartbeat age, per-worker event rates, stragglers, ETA, and a crashed
+// worker's final flight-recorder events.
+//
+//	ccsweep -param procs -values 8192,16384 -manifest run/
+//	ccsweep -worker run/ & ccsweep -worker run/ &
+//	cctop -run run/
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/asciichart"
+	"repro/internal/blocks"
 	"repro/internal/obs"
 )
 
@@ -37,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cctop", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:6060", "debug endpoint address (host:port of a -debug-addr run)")
+		runDir   = fs.String("run", "", "watch this sweep run directory (worker heartbeats + block status) instead of polling -addr")
 		interval = fs.Duration("interval", time.Second, "poll interval")
 		polls    = fs.Int("n", 0, "stop after this many polls (0 = poll until interrupted)")
 		plain    = fs.Bool("plain", false, "append frames instead of clearing the screen (for logs/pipes)")
@@ -50,6 +62,27 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *width < 8 {
 		return fmt.Errorf("-width must be at least 8")
+	}
+
+	if *runDir != "" {
+		for i := 0; *polls == 0 || i < *polls; i++ {
+			if i > 0 {
+				time.Sleep(*interval)
+			}
+			now := time.Now()
+			m, st, fl, err := blocks.CollectFleet(*runDir, now, blocks.FleetOptions{})
+			if err != nil {
+				return err
+			}
+			if !*plain {
+				fmt.Fprint(stdout, "\033[H\033[2J")
+			}
+			fmt.Fprint(stdout, renderFleet(*runDir, m, st, fl, *width))
+			if st.Done() && fl.Alive+fl.Stale == 0 {
+				break // sweep over, no one left to watch
+			}
+		}
+		return nil
 	}
 
 	url := fmt.Sprintf("http://%s/metricz", *addr)
@@ -144,6 +177,111 @@ func render(s obs.Snapshot, hist *history, addr string, width int) string {
 		sb.WriteString(line)
 	}
 	return sb.String()
+}
+
+// renderFleet draws one fleet-dashboard frame for a run directory. Like
+// render it is a pure function of its inputs, so tests can pin the layout
+// without a live sweep.
+func renderFleet(dir string, m *blocks.Manifest, st blocks.Status, fl blocks.Fleet, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cctop — %s  sweep %s (%s, %d cells)\n\n", dir, m.Name, m.Kind, len(m.Cells))
+
+	// Block progress bar.
+	frac := 0.0
+	if st.Planned > 0 {
+		frac = float64(st.Complete) / float64(st.Planned)
+	}
+	filled := int(frac*float64(width) + 0.5)
+	fmt.Fprintf(&sb, "blocks   [%s%s] %d/%d",
+		strings.Repeat("█", filled), strings.Repeat("·", width-filled), st.Complete, st.Planned)
+	if st.Leased > 0 {
+		fmt.Fprintf(&sb, "  ·  %d running", st.Leased)
+	}
+	if st.Torn > 0 {
+		fmt.Fprintf(&sb, "  ·  %d torn", st.Torn)
+	}
+	if st.Expired > 0 {
+		fmt.Fprintf(&sb, "  ·  %d expired-lease", st.Expired)
+	}
+	sb.WriteByte('\n')
+
+	fmt.Fprintf(&sb, "fleet    %d alive", fl.Alive)
+	if fl.Stale > 0 {
+		fmt.Fprintf(&sb, ", %d stale", fl.Stale)
+	}
+	if fl.Dead > 0 {
+		fmt.Fprintf(&sb, ", %d DEAD", fl.Dead)
+	}
+	if fl.Exited > 0 {
+		fmt.Fprintf(&sb, ", %d exited", fl.Exited)
+	}
+	if fl.EventsPerSec > 0 {
+		fmt.Fprintf(&sb, "  ·  %s ev/s", groupDigits(uint64(fl.EventsPerSec)))
+	}
+	switch {
+	case fl.ETAMS == 0 && st.Done():
+		sb.WriteString("  ·  complete — ready to -reduce")
+	case fl.ETAMS > 0:
+		fmt.Fprintf(&sb, "  ·  ETA %v", (time.Duration(fl.ETAMS) * time.Millisecond).Round(time.Second))
+	}
+	sb.WriteByte('\n')
+	if fl.MetricsErr != "" {
+		fmt.Fprintf(&sb, "warning  metrics merge failed: %s\n", fl.MetricsErr)
+	}
+
+	if len(fl.Workers) > 0 {
+		fmt.Fprintf(&sb, "\n%-24s %-7s %7s %7s %6s %12s  %s\n",
+			"worker", "health", "age", "block", "done", "ev/s", "note")
+		for _, fw := range fl.Workers {
+			age := (time.Duration(fw.AgeMS) * time.Millisecond).Round(100 * time.Millisecond)
+			block := "-"
+			if fw.CurrentBlock >= 0 {
+				block = fmt.Sprintf("#%d", fw.CurrentBlock)
+			}
+			note := ""
+			switch {
+			case fw.Health == blocks.WorkerExited:
+				note = fw.Reason
+			case fw.Health == blocks.WorkerDead:
+				note = "no heartbeat — " + lastFlight(fw.Heartbeat)
+			case fw.Straggler:
+				note = "straggler (below half the fleet median rate)"
+			}
+			fmt.Fprintf(&sb, "%-24s %-7s %7s %7s %6d %12s  %s\n",
+				fw.Worker, string(fw.Health), age, block, fw.Completed,
+				groupDigits(uint64(fw.EventsPerSec)), note)
+		}
+	}
+
+	// Per-worker committed totals from the journals themselves — this
+	// covers workers that never heartbeat (older binaries).
+	for _, ws := range st.Workers {
+		fmt.Fprintf(&sb, "journal  %-24s %4d blocks  %12s events\n",
+			ws.Worker, ws.Completed, groupDigits(ws.Events))
+	}
+	return sb.String()
+}
+
+// lastFlight summarises a dead worker's final flight-recorder entries —
+// the postmortem its last periodic heartbeat carried.
+func lastFlight(hb blocks.Heartbeat) string {
+	if len(hb.Flight) == 0 {
+		return "no flight events"
+	}
+	n := len(hb.Flight)
+	tail := hb.Flight
+	if n > 3 {
+		tail = tail[n-3:]
+	}
+	parts := make([]string, 0, len(tail))
+	for _, fe := range tail {
+		p := fe.Kind
+		if fe.Block >= 0 {
+			p = fmt.Sprintf("%s #%d", fe.Kind, fe.Block)
+		}
+		parts = append(parts, p)
+	}
+	return "last: " + strings.Join(parts, ", ")
 }
 
 // blocksLine renders the sweep-block telemetry a distributed worker

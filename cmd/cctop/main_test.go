@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/blocks"
 	"repro/internal/obs"
 )
 
@@ -190,5 +191,47 @@ func TestBlocksSection(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("frame missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRenderFleet pins the run-directory dashboard layout from synthetic
+// fleet data — no live sweep needed, renderFleet is pure.
+func TestRenderFleet(t *testing.T) {
+	m := &blocks.Manifest{Name: "procs", Kind: blocks.KindEstimate,
+		Cells: []blocks.Cell{{}, {}}, Hash: "sha256:deadbeef"}
+	st := blocks.Status{Planned: 8, Complete: 4, Leased: 2, Torn: 1, Unclaimed: 1,
+		Workers: []blocks.WorkerStats{{Worker: "host-1", Completed: 4, Events: 1234567}}}
+	fl := blocks.Fleet{
+		Alive: 1, Dead: 1, Exited: 1, EventsPerSec: 250000, ETAMS: 95_000,
+		Workers: []blocks.FleetWorker{
+			{Heartbeat: blocks.Heartbeat{Worker: "host-1", CurrentBlock: 6,
+				Completed: 4, EventsPerSec: 250000}, Health: blocks.WorkerAlive, AgeMS: 200},
+			{Heartbeat: blocks.Heartbeat{Worker: "host-2", CurrentBlock: 7,
+				Flight: []obs.FlightEvent{{Kind: "claim", Block: 7}}},
+				Health: blocks.WorkerDead, AgeMS: 45000},
+			{Heartbeat: blocks.Heartbeat{Worker: "host-3", CurrentBlock: -1,
+				Final: true, Reason: "done"}, Health: blocks.WorkerExited, AgeMS: 60000},
+		},
+	}
+	out := renderFleet("run/", m, st, fl, 16)
+	for _, want := range []string{
+		"sweep procs (estimate, 2 cells)",
+		"4/8", "2 running", "1 torn",
+		"1 alive, 1 DEAD, 1 exited",
+		"250,000 ev/s",
+		"ETA 1m35s",
+		"host-1", "#6",
+		"host-2", "dead", "no heartbeat — last: claim #7",
+		"host-3", "exited", "done",
+		"journal  host-1", "1,234,567 events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet frame missing %q:\n%s", want, out)
+		}
+	}
+	// A finished, empty fleet still renders.
+	done := renderFleet("run/", m, blocks.Status{Planned: 8, Complete: 8}, blocks.Fleet{ETAMS: 0}, 16)
+	if !strings.Contains(done, "ready to -reduce") {
+		t.Fatalf("done frame:\n%s", done)
 	}
 }

@@ -1,0 +1,272 @@
+package blocks
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	hb := Heartbeat{
+		Worker: "w/evil\\name", PID: 42, Host: "h",
+		StartUnixMS: 1000, UnixMS: 2000, IntervalMS: 250,
+		CurrentBlock: 3, Completed: 2, Events: 99, EventsPerSec: 12.5,
+	}
+	if err := WriteHeartbeat(dir, hb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(HeartbeatPath(dir, hb.Worker)[len(dir)+1:], "\\") {
+		t.Fatalf("unsanitised heartbeat path %q", HeartbeatPath(dir, hb.Worker))
+	}
+	got, err := ReadHeartbeats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Worker != hb.Worker || got[0].UnixMS != hb.UnixMS ||
+		got[0].CurrentBlock != hb.CurrentBlock || got[0].EventsPerSec != hb.EventsPerSec {
+		t.Fatalf("round trip = %+v, want %+v", got, hb)
+	}
+	if age := hb.Age(time.UnixMilli(2600)); age != 600*time.Millisecond {
+		t.Fatalf("age = %v", age)
+	}
+	// A run directory without heartbeats is an empty fleet, not an error.
+	if hbs, err := ReadHeartbeats(t.TempDir()); err != nil || hbs != nil {
+		t.Fatalf("missing dir = %v, %v", hbs, err)
+	}
+}
+
+// TestWorkWritesHeartbeats runs a real Work loop and checks the telemetry
+// side effects: an initial and a final heartbeat exist, the final one
+// carries reason "done", the flight ring records the claims and commits,
+// and the registry snapshot rode along.
+func TestWorkWritesHeartbeats(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 2)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Work(context.Background(), dir, synthRun, WorkerOptions{Name: "hb-w"}); err != nil {
+		t.Fatal(err)
+	}
+	hbs, err := ReadHeartbeats(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hbs) != 1 {
+		t.Fatalf("heartbeats = %+v", hbs)
+	}
+	hb := hbs[0]
+	if !hb.Final || hb.Reason != "done" {
+		t.Fatalf("final heartbeat = %+v", hb)
+	}
+	if hb.Completed != len(m.Blocks) || hb.CurrentBlock != -1 {
+		t.Fatalf("progress = %+v", hb)
+	}
+	if hb.IntervalMS != 1000 {
+		t.Fatalf("interval = %d, want default 1000", hb.IntervalMS)
+	}
+	kinds := map[string]int{}
+	for _, fe := range hb.Flight {
+		kinds[fe.Kind]++
+	}
+	if kinds["start"] != 1 || kinds["claim"] != len(m.Blocks) || kinds["commit"] != len(m.Blocks) || kinds["exit"] != 1 {
+		t.Fatalf("flight kinds = %v", kinds)
+	}
+	if hb.FlightTotal != uint64(len(hb.Flight)) {
+		t.Fatalf("flight total %d vs ring %d", hb.FlightTotal, len(hb.Flight))
+	}
+
+	// Heartbeat < 0 disables the writer entirely.
+	dir2 := t.TempDir()
+	if err := CreateRun(dir2, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Work(context.Background(), dir2, synthRun, WorkerOptions{Name: "quiet", Heartbeat: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if hbs, _ := ReadHeartbeats(dir2); hbs != nil {
+		t.Fatalf("disabled heartbeat still wrote %+v", hbs)
+	}
+}
+
+// TestCollectFleet builds a three-worker fleet by hand — one fresh, one
+// long-silent, one cleanly exited — and checks the health classification,
+// rate summing, straggler flag, merged metrics, and ETA.
+func TestCollectFleet(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 2)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Commit every block so ETA is 0 and Scan is happy.
+	if _, err := Work(context.Background(), dir, synthRun, WorkerOptions{Name: "real", Heartbeat: -1}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	write := func(hb Heartbeat) {
+		t.Helper()
+		if err := WriteHeartbeat(dir, hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(Heartbeat{Worker: "a-fast", IntervalMS: 1000, UnixMS: now.UnixMilli(), EventsPerSec: 100})
+	write(Heartbeat{Worker: "b-slow", IntervalMS: 1000, UnixMS: now.UnixMilli(), EventsPerSec: 10})
+	write(Heartbeat{Worker: "c-dead", IntervalMS: 1000, UnixMS: now.Add(-time.Minute).UnixMilli(), EventsPerSec: 50})
+	write(Heartbeat{Worker: "d-exit", IntervalMS: 1000, UnixMS: now.Add(-time.Hour).UnixMilli(), Final: true, Reason: "done"})
+	write(Heartbeat{Worker: "e-stale", IntervalMS: 1000, UnixMS: now.Add(-4 * time.Second).UnixMilli(), EventsPerSec: 40})
+
+	_, st, fl, err := CollectFleet(dir, now, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done() {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := [4]int{fl.Alive, fl.Stale, fl.Dead, fl.Exited}; got != [4]int{2, 1, 1, 1} {
+		t.Fatalf("alive/stale/dead/exited = %v, want [2 1 1 1]", got)
+	}
+	health := map[string]WorkerHealth{}
+	straggler := map[string]bool{}
+	for _, fw := range fl.Workers {
+		health[fw.Worker] = fw.Health
+		straggler[fw.Worker] = fw.Straggler
+	}
+	want := map[string]WorkerHealth{
+		"a-fast": WorkerAlive, "b-slow": WorkerAlive, "c-dead": WorkerDead,
+		"d-exit": WorkerExited, "e-stale": WorkerStale,
+	}
+	for w, h := range want {
+		if health[w] != h {
+			t.Fatalf("worker %s health %q, want %q (all: %v)", w, health[w], h, health)
+		}
+	}
+	if fl.EventsPerSec != 110 {
+		t.Fatalf("fleet events/s = %g, want 110", fl.EventsPerSec)
+	}
+	// b-slow runs at 10 ev/s against an alive median of 100 — a straggler.
+	if !straggler["b-slow"] || straggler["a-fast"] {
+		t.Fatalf("stragglers = %v", straggler)
+	}
+	if fl.ETAMS != 0 {
+		t.Fatalf("eta = %d, want 0 for a complete sweep", fl.ETAMS)
+	}
+}
+
+func TestCollectFleetMergesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 4)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	s1 := snapWithCounter("runner.events", 10)
+	s2 := snapWithCounter("runner.events", 32)
+	if err := WriteHeartbeat(dir, Heartbeat{Worker: "w1", IntervalMS: 1000, UnixMS: now.UnixMilli(), Metrics: &s1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeartbeat(dir, Heartbeat{Worker: "w2", IntervalMS: 1000, UnixMS: now.UnixMilli(), Metrics: &s2}); err != nil {
+		t.Fatal(err)
+	}
+	_, st, fl, err := CollectFleet(dir, now, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Metrics == nil || fl.Metrics.Counters["runner.events"] != 42 {
+		t.Fatalf("merged metrics = %+v (err %q)", fl.Metrics, fl.MetricsErr)
+	}
+	// Nothing committed and nothing alive to judge: ETA unknown.
+	_ = st
+	if st.Complete != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// snapWithCounter builds a registry snapshot holding one counter value.
+func snapWithCounter(name string, v uint64) obs.Snapshot {
+	r := obs.NewRegistry()
+	r.Counter(name).Add(v)
+	return r.Snapshot()
+}
+
+// TestWriteTimeline commits a sweep with two workers, leaves one live
+// lease, and checks the trace-event document: valid JSON, one named track
+// per worker, and a complete span for every committed block.
+func TestWriteTimeline(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 2)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Worker A commits every block but the last; worker B holds a live
+	// lease on it.
+	for _, b := range m.Blocks[:len(m.Blocks)-1] {
+		out, err := synthRun(context.Background(), m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeBlockJournal(dir, m, b, out, "worker-a", 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := m.Blocks[len(m.Blocks)-1]
+	if res, err := claim(dir, m, last.ID, "worker-b", time.Hour, time.Now()); err != nil || res != claimWon {
+		t.Fatalf("claim: %v %v", err, res)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, dir, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	var tr timelineTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("timeline not JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	tracks := map[string]bool{}
+	spansByTid := map[int]int{}
+	tidByName := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			if ev.Name == "thread_name" {
+				name, _ := ev.Args["name"].(string)
+				tracks[name] = true
+				tidByName[name] = ev.Tid
+			}
+		case "X":
+			spansByTid[ev.Tid]++
+			if ev.Ts < 0 {
+				t.Fatalf("span %q starts before t0: %+v", ev.Name, ev)
+			}
+		}
+	}
+	if !tracks["worker-a"] || !tracks["worker-b"] {
+		t.Fatalf("tracks = %v, want worker-a and worker-b", tracks)
+	}
+	if got := spansByTid[tidByName["worker-a"]]; got != len(m.Blocks)-1 {
+		t.Fatalf("worker-a spans = %d, want %d committed blocks", got, len(m.Blocks)-1)
+	}
+	if got := spansByTid[tidByName["worker-b"]]; got != 1 {
+		t.Fatalf("worker-b spans = %d, want 1 live lease", got)
+	}
+	// The trailer timestamp survived the read path.
+	_, st, err := Scan(dir, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete != len(m.Blocks)-1 {
+		t.Fatalf("status = %+v", st)
+	}
+	tr0, ok, err := trailerOf(dir, m, m.Blocks[0])
+	if err != nil || !ok || tr0.CommittedUnixMS == 0 {
+		t.Fatalf("trailer commit stamp missing: %+v ok=%v err=%v", tr0, ok, err)
+	}
+}

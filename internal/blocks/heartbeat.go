@@ -1,0 +1,120 @@
+package blocks
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// heartbeatDir holds one JSON snapshot per worker inside a run directory.
+// Like journals and leases, heartbeats are plain files on the shared
+// directory — no network listener — committed via temp + rename so a
+// reader never sees a torn document.
+const heartbeatDir = "heartbeats"
+
+// HeartbeatPath returns the worker's heartbeat location. Worker names come
+// from hostnames, so path separators are flattened defensively.
+func HeartbeatPath(dir, worker string) string {
+	safe := strings.Map(func(r rune) rune {
+		if r == '/' || r == '\\' || r == 0 {
+			return '_'
+		}
+		return r
+	}, worker)
+	return filepath.Join(dir, heartbeatDir, safe+".json")
+}
+
+// Heartbeat is one worker's periodic self-report: where it is in the sweep,
+// its full metrics registry, and a flight-recorder ring of its recent
+// events. Because every periodic write carries the ring, the last periodic
+// heartbeat doubles as the postmortem for a worker killed with SIGKILL —
+// no handler gets to run, but the record is already on disk. Orderly exits
+// (return, error, panic, SIGTERM) additionally flush a Final snapshot with
+// a Reason.
+type Heartbeat struct {
+	Worker string `json:"worker"`
+	PID    int    `json:"pid"`
+	Host   string `json:"host"`
+	// StartUnixMS is when the Work loop began; UnixMS is this snapshot's
+	// write time.
+	StartUnixMS int64 `json:"start_unix_ms"`
+	UnixMS      int64 `json:"unix_ms"`
+	// IntervalMS is the writer's own cadence, so readers judge staleness
+	// in units of the writer's interval instead of assuming one.
+	IntervalMS int64 `json:"interval_ms"`
+	// Final marks the snapshot flushed on the way out; Reason says why
+	// ("done", "error: ...", "panic: ...", "signal: terminated").
+	Final  bool   `json:"final,omitempty"`
+	Reason string `json:"reason,omitempty"`
+	// CurrentBlock is the block being executed, or -1 when idle/polling.
+	CurrentBlock int `json:"current_block"`
+	// Progress counters mirror Summary.
+	Completed       int    `json:"completed"`
+	Reclaimed       int    `json:"reclaimed,omitempty"`
+	SkippedComplete int    `json:"skipped_complete,omitempty"`
+	Events          uint64 `json:"events"`
+	// EventsPerSec is the simulation event rate over the last interval,
+	// from runner.events deltas when a metrics registry is attached, else
+	// from committed-block event deltas.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Metrics is the worker's full registry snapshot.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Flight is the recent-event ring, oldest first; FlightTotal counts
+	// every event ever recorded (ring evictions included).
+	Flight      []obs.FlightEvent `json:"flight,omitempty"`
+	FlightTotal uint64            `json:"flight_total,omitempty"`
+}
+
+// Age is how long ago the snapshot was written.
+func (h Heartbeat) Age(now time.Time) time.Duration {
+	return now.Sub(time.UnixMilli(h.UnixMS))
+}
+
+// WriteHeartbeat commits one snapshot atomically, creating heartbeats/ on
+// first use so pre-telemetry run directories keep working.
+func WriteHeartbeat(dir string, hb Heartbeat) error {
+	if err := os.MkdirAll(filepath.Join(dir, heartbeatDir), 0o777); err != nil {
+		return fmt.Errorf("blocks: %w", err)
+	}
+	data, err := json.MarshalIndent(hb, "", "  ")
+	if err != nil {
+		return fmt.Errorf("blocks: %w", err)
+	}
+	return atomicWrite(HeartbeatPath(dir, hb.Worker), append(data, '\n'))
+}
+
+// ReadHeartbeats loads every worker heartbeat in the run directory, sorted
+// by worker name. A missing heartbeats/ directory is an empty fleet, not
+// an error; abandoned temp files are skipped.
+func ReadHeartbeats(dir string) ([]Heartbeat, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, heartbeatDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("blocks: %w", err)
+	}
+	var out []Heartbeat
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, heartbeatDir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("blocks: %w", err)
+		}
+		var hb Heartbeat
+		if err := json.Unmarshal(data, &hb); err != nil {
+			return nil, fmt.Errorf("blocks: heartbeat %s: %w", e.Name(), err)
+		}
+		out = append(out, hb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -93,6 +94,12 @@ type Trailer struct {
 	WallMS       float64 `json:"wall_ms"`
 	Worker       string  `json:"worker"`
 	ManifestHash string  `json:"manifest_hash"`
+	// CommittedUnixMS is the trailer's obs.Journal "ts" stamp — journal
+	// lines are buffered and stamped together at commit, so this is the
+	// block's commit time. Derived on read, never serialised (json:"-"),
+	// so it cannot perturb the journal's byte-identity contract. Zero when
+	// the ts field is absent or unparseable.
+	CommittedUnixMS int64 `json:"-"`
 }
 
 // trailerKind discriminates the commit record.
@@ -269,5 +276,10 @@ func parseTrailer(rec Record) (*Trailer, error) {
 	tr.WallMS, _ = rec.Float("wall_ms")
 	tr.Worker, _ = rec.Str("worker")
 	tr.ManifestHash, _ = rec.Str("manifest_hash")
+	if ts, ok := rec.Str("ts"); ok {
+		if t, terr := time.Parse(time.RFC3339Nano, ts); terr == nil {
+			tr.CommittedUnixMS = t.UnixMilli()
+		}
+	}
 	return &tr, nil
 }

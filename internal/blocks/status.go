@@ -1,6 +1,7 @@
 package blocks
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -25,30 +26,38 @@ const (
 	StateUnclaimed BlockState = "unclaimed"
 )
 
-// BlockInfo is one block's scan line.
+// BlockInfo is one block's scan line. State is single-valued: every block
+// is in exactly one state, so the Status counters partition the plan.
 type BlockInfo struct {
-	Block int
-	Cell  int
-	Reps  int
-	State BlockState
+	Block int        `json:"block"`
+	Cell  int        `json:"cell"`
+	Reps  int        `json:"reps"`
+	State BlockState `json:"state"`
 	// Worker names the journal's committer (complete) or the lease holder
 	// (leased/expired).
-	Worker string
+	Worker string `json:"worker,omitempty"`
 	// WallMS is the committed block's wall time.
-	WallMS float64
+	WallMS float64 `json:"wall_ms,omitempty"`
 	// ExpiresIn is the lease's remaining validity (negative once lapsed).
-	ExpiresIn time.Duration
+	ExpiresIn time.Duration `json:"-"`
+	// TornJournal annotates a torn journal file regardless of State: a
+	// torn block that a live lease is re-running classifies as leased, and
+	// this flag is how the scan still reports the torn file underneath.
+	TornJournal bool `json:"torn_journal,omitempty"`
 }
 
 // WorkerStats aggregates one worker's committed blocks.
 type WorkerStats struct {
-	Worker    string
-	Completed int
-	Events    uint64
-	WallMS    float64
+	Worker    string  `json:"worker"`
+	Completed int     `json:"completed"`
+	Events    uint64  `json:"events"`
+	WallMS    float64 `json:"wall_ms"`
 }
 
-// Status summarises a run directory at one instant.
+// Status summarises a run directory at one instant. The five state
+// counters are a partition: Complete+Torn+Leased+Expired+Unclaimed ==
+// Planned always (a block with both a torn journal and a lease counts
+// once, under the state Scan resolves for it).
 type Status struct {
 	Planned, Complete, Torn, Leased, Expired, Unclaimed int
 	// Events sums the committed blocks' event counts.
@@ -94,31 +103,31 @@ func Scan(dir string, now time.Time) (*Manifest, Status, error) {
 			ws.Events += tr.Events
 			ws.WallMS += tr.WallMS
 		case errors.Is(jerr, ErrIncomplete):
-			// Distinguish "torn file present" from "never journaled", then
-			// fall through to the lease for claimed-ness.
-			if journalExists(dir, b.ID) {
-				info.State = StateTorn
-				st.Torn++
-			}
+			// Resolve ONE state per block. Precedence: a live lease means a
+			// worker is (re-)running the block right now — even over a torn
+			// journal, which the re-run's commit will replace; a torn
+			// journal with no live claim needs -resume; an expired lease is
+			// reclaimable; otherwise the block is untouched. The torn-file
+			// fact is preserved in TornJournal either way.
+			info.TornJournal = journalExists(dir, b.ID)
 			l, lerr := readLease(LeasePath(dir, b.ID))
+			if lerr == nil {
+				info.Worker = l.Worker
+				info.ExpiresIn = time.Duration(l.ExpiresUnixMS-now.UnixMilli()) * time.Millisecond
+			}
 			switch {
 			case lerr == nil && !l.Expired(now):
 				info.State = StateLeased
-				info.Worker = l.Worker
-				info.ExpiresIn = time.Duration(l.ExpiresUnixMS-now.UnixMilli()) * time.Millisecond
 				st.Leased++
+			case info.TornJournal:
+				info.State = StateTorn
+				st.Torn++
 			case lerr == nil:
-				if info.State != StateTorn {
-					info.State = StateExpired
-				}
-				info.Worker = l.Worker
-				info.ExpiresIn = time.Duration(l.ExpiresUnixMS-now.UnixMilli()) * time.Millisecond
+				info.State = StateExpired
 				st.Expired++
 			default:
-				if info.State != StateTorn {
-					info.State = StateUnclaimed
-					st.Unclaimed++
-				}
+				info.State = StateUnclaimed
+				st.Unclaimed++
 			}
 		default:
 			return nil, Status{}, jerr
@@ -182,6 +191,57 @@ func WriteStatus(w io.Writer, m *Manifest, st Status) error {
 		fmt.Fprintf(w, "status  in progress — %d blocks remaining\n", st.Planned-st.Complete)
 	}
 	return nil
+}
+
+// statusJSON is the machine-readable shape of a Scan — the -status -json
+// output. Durations are exported as milliseconds so consumers need no
+// Go-duration parsing.
+type statusJSON struct {
+	Name      string        `json:"name"`
+	Kind      string        `json:"kind"`
+	Hash      string        `json:"hash"`
+	Cells     int           `json:"cells"`
+	Planned   int           `json:"planned"`
+	Complete  int           `json:"complete"`
+	Torn      int           `json:"torn"`
+	Leased    int           `json:"leased"`
+	Expired   int           `json:"expired"`
+	Unclaimed int           `json:"unclaimed"`
+	Done      bool          `json:"done"`
+	Events    uint64        `json:"events"`
+	WallMS    float64       `json:"wall_ms"`
+	Workers   []WorkerStats `json:"workers,omitempty"`
+	Blocks    []blockJSON   `json:"blocks"`
+}
+
+type blockJSON struct {
+	BlockInfo
+	// ExpiresInMS flattens BlockInfo.ExpiresIn (negative once lapsed);
+	// omitted for states without a lease.
+	ExpiresInMS *int64 `json:"expires_in_ms,omitempty"`
+}
+
+// WriteStatusJSON renders a Scan as one indented JSON document — the
+// machine-readable twin of WriteStatus, for scripts and dashboards.
+func WriteStatusJSON(w io.Writer, m *Manifest, st Status) error {
+	out := statusJSON{
+		Name: m.Name, Kind: m.Kind, Hash: m.Hash, Cells: len(m.Cells),
+		Planned: st.Planned, Complete: st.Complete, Torn: st.Torn,
+		Leased: st.Leased, Expired: st.Expired, Unclaimed: st.Unclaimed,
+		Done: st.Done(), Events: st.Events, WallMS: st.WallMS,
+		Workers: st.Workers,
+	}
+	for _, bi := range st.Blocks {
+		bj := blockJSON{BlockInfo: bi}
+		if bi.State == StateLeased || bi.State == StateExpired || (bi.Worker != "" && bi.State != StateComplete) {
+			ms := bi.ExpiresIn.Milliseconds()
+			bj.ExpiresInMS = &ms
+		}
+		out.Blocks = append(out.Blocks, bj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // shortHash abbreviates a manifest hash for display.

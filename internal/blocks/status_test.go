@@ -1,0 +1,129 @@
+package blocks
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// tearJournal leaves a torn (uncommitted) journal file for the block, as a
+// crashed writer would.
+func tearJournal(t *testing.T, dir string, m *Manifest, b Block) {
+	t.Helper()
+	out, err := synthRun(context.Background(), m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBlockJournal(dir, m, b, out, "victim", 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(JournalPath(dir, b.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(JournalPath(dir, b.ID), data[:len(data)-11], 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanStateSingleValued pins the fix for the state double-count: a
+// block is in exactly one state, the five counters partition the plan
+// (they sum to Planned), and a torn journal being re-run under a live
+// lease classifies as leased with the torn file reported as annotation —
+// previously it incremented both Torn and Leased and the info.State
+// depended on evaluation order.
+func TestScanStateSingleValued(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 1) // 7 blocks of one rep each
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+
+	// Block 0: committed.
+	out, err := synthRun(context.Background(), m, m.Blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBlockJournal(dir, m, m.Blocks[0], out, "w0", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Block 1: torn journal AND a live lease (a reclaimer re-running it).
+	tearJournal(t, dir, m, m.Blocks[1])
+	if res, err := claim(dir, m, 1, "rescuer", time.Hour, now); err != nil || res != claimWon {
+		t.Fatalf("claim block 1: %v res=%v", err, res)
+	}
+	// Block 2: torn journal, no claim.
+	tearJournal(t, dir, m, m.Blocks[2])
+	// Block 3: expired lease only.
+	if _, err := claim(dir, m, 3, "ghost", time.Nanosecond, now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Block 4: torn journal AND an expired lease — torn wins (needs -resume).
+	tearJournal(t, dir, m, m.Blocks[4])
+	if _, err := claim(dir, m, 4, "ghost", time.Nanosecond, now.Add(-time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 5, 6: untouched.
+
+	_, st, err := Scan(dir, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := [5]int{st.Complete, st.Leased, st.Torn, st.Expired, st.Unclaimed}; got != [5]int{1, 1, 2, 1, 2} {
+		t.Fatalf("counters complete/leased/torn/expired/unclaimed = %v, want [1 1 2 1 2]", got)
+	}
+	if sum := st.Complete + st.Leased + st.Torn + st.Expired + st.Unclaimed; sum != st.Planned {
+		t.Fatalf("counters sum to %d, want Planned=%d", sum, st.Planned)
+	}
+	wantStates := []BlockState{StateComplete, StateLeased, StateTorn, StateExpired, StateTorn, StateUnclaimed, StateUnclaimed}
+	for i, bi := range st.Blocks {
+		if bi.State != wantStates[i] {
+			t.Errorf("block %d state %q, want %q", i, bi.State, wantStates[i])
+		}
+	}
+	if !st.Blocks[1].TornJournal || st.Blocks[1].Worker != "rescuer" {
+		t.Fatalf("block 1 = %+v, want leased-by-rescuer with TornJournal", st.Blocks[1])
+	}
+	if !st.Blocks[4].TornJournal || st.Blocks[2].TornJournal != true {
+		t.Fatalf("torn annotations wrong: %+v / %+v", st.Blocks[2], st.Blocks[4])
+	}
+	if st.Blocks[5].TornJournal {
+		t.Fatalf("block 5 spuriously marked torn: %+v", st.Blocks[5])
+	}
+}
+
+func TestWriteStatusJSON(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 2)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Work(context.Background(), dir, synthRun, WorkerOptions{Name: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	mLoaded, st, err := Scan(dir, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStatusJSON(&buf, mLoaded, st); err != nil {
+		t.Fatal(err)
+	}
+	var got statusJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, buf.String())
+	}
+	if !got.Done || got.Complete != len(m.Blocks) || got.Hash != m.Hash {
+		t.Fatalf("status JSON = %+v", got)
+	}
+	if len(got.Blocks) != len(m.Blocks) || got.Blocks[0].State != StateComplete {
+		t.Fatalf("blocks JSON = %+v", got.Blocks)
+	}
+	if len(got.Workers) != 1 || got.Workers[0].Worker != "w" {
+		t.Fatalf("workers JSON = %+v", got.Workers)
+	}
+}

@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
@@ -43,6 +47,15 @@ type WorkerOptions struct {
 	// (blocks.planned/claimed/completed/reclaimed/skipped) and the
 	// per-block wall-time histogram blocks.block_wall_s.
 	Metrics *obs.Registry
+	// Heartbeat is the cadence of this worker's telemetry snapshot in
+	// heartbeats/<worker>.json (progress, registry snapshot, flight
+	// recorder). Default 1 s; negative disables. The writer runs on its
+	// own goroutine, never on the simulation path.
+	Heartbeat time.Duration
+	// HandleSignals, when set, flushes a final heartbeat and cancels the
+	// Work context on SIGTERM/SIGINT, so an orderly kill leaves a
+	// postmortem snapshot with its reason.
+	HandleSignals bool
 	// Log, when non-nil, receives one human line per worker event.
 	Log func(format string, args ...any)
 }
@@ -63,6 +76,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	}
 	if o.Renew <= 0 {
 		o.Renew = o.LeaseTTL / 3
+	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = time.Second
 	}
 	return o
 }
@@ -90,13 +106,42 @@ type Summary struct {
 // arbitrate, and the temp+rename journal commit makes even a double-run of
 // the same block (possible only after a lease expires under a live worker)
 // converge, because both executions produce byte-identical records.
-func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (Summary, error) {
+func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (s Summary, err error) {
 	o = o.withDefaults()
 	m, err := LoadManifest(dir)
 	if err != nil {
 		return Summary{}, err
 	}
-	s := Summary{Worker: o.Name}
+	s = Summary{Worker: o.Name}
+	hb := newHeartbeater(dir, o)
+	defer func() {
+		if r := recover(); r != nil {
+			hb.close(fmt.Sprintf("panic: %v", r))
+			panic(r)
+		}
+		reason := "done"
+		if err != nil {
+			reason = "error: " + err.Error()
+		}
+		hb.close(reason)
+	}()
+	if o.HandleSignals {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			select {
+			case sig := <-sigc:
+				hb.note("signal", -1, sig.String())
+				hb.flushFinal("signal: " + sig.String())
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
 	var mPlanned, mClaimed, mCompleted, mReclaimed, mSkipped *obs.Counter
 	var mWall *obs.Timer
 	if reg := o.Metrics; reg != nil {
@@ -134,6 +179,7 @@ func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (Summar
 				if mSkipped != nil {
 					mSkipped.Inc()
 				}
+				hb.sync(s)
 				continue
 			}
 			res, err := claim(dir, m, b.ID, o.Name, o.LeaseTTL, time.Now())
@@ -149,18 +195,25 @@ func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (Summar
 				if mReclaimed != nil {
 					mReclaimed.Inc()
 				}
+				hb.note("reclaim", b.ID, "expired lease broken")
 				logf("block %d: reclaimed expired lease", b.ID)
 			}
 			if mClaimed != nil {
 				mClaimed.Inc()
 			}
 			claimedAny = true
+			hb.note("claim", b.ID, "")
+			hb.setCurrent(b.ID)
+			hb.sync(s)
 			if err := executeBlock(ctx, dir, m, b, run, o); err != nil {
 				// Leave no lease behind: the failed block returns to the
 				// claimable pool immediately rather than after a TTL.
 				release(dir, b.ID)
+				hb.note("error", b.ID, err.Error())
+				hb.setCurrent(-1)
 				return s, err
 			}
+			hb.setCurrent(-1)
 			seenComplete[b.ID] = true
 			s.Completed++
 			tr, _, _ := trailerOf(dir, m, b)
@@ -173,6 +226,8 @@ func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (Summar
 			if mCompleted != nil {
 				mCompleted.Inc()
 			}
+			hb.note("commit", b.ID, "")
+			hb.sync(s)
 			logf("block %d: completed (%d reps, cell %d)", b.ID, b.Reps(), b.CellIndex)
 		}
 		if remaining == 0 && !claimedAny {
@@ -246,6 +301,158 @@ func trailerOf(dir string, m *Manifest, b Block) (*Trailer, bool, error) {
 		return nil, false, err
 	}
 	return tr, true, nil
+}
+
+// heartbeater writes the worker's Heartbeat snapshot on its own goroutine
+// so telemetry never touches the simulation path. All methods are nil-safe:
+// a disabled heartbeat (WorkerOptions.Heartbeat < 0) is a nil heartbeater
+// and every call is a no-op.
+type heartbeater struct {
+	dir   string
+	o     WorkerOptions
+	fl    *obs.FlightRecorder
+	start time.Time
+	host  string
+
+	current   atomic.Int64 // block being executed, -1 when idle
+	completed atomic.Int64
+	reclaimed atomic.Int64
+	skipped   atomic.Int64
+	events    atomic.Uint64
+
+	mu         sync.Mutex // serialises writes; guards rate state + final flag
+	lastEvents uint64
+	lastWrite  time.Time
+	finalDone  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newHeartbeater(dir string, o WorkerOptions) *heartbeater {
+	if o.Heartbeat < 0 {
+		return nil
+	}
+	host, _ := os.Hostname()
+	h := &heartbeater{
+		dir: dir, o: o, fl: obs.NewFlightRecorder(obs.DefaultFlightEvents),
+		start: time.Now(), host: host,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	h.current.Store(-1)
+	h.fl.Record("start", -1, "worker "+o.Name)
+	h.write(false, "")
+	go h.loop()
+	return h
+}
+
+func (h *heartbeater) loop() {
+	defer close(h.done)
+	t := time.NewTicker(h.o.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.write(false, "")
+		}
+	}
+}
+
+// note records a flight-recorder event. The ring rides along in every
+// periodic heartbeat, which is what makes a SIGKILLed worker's last
+// heartbeat its postmortem.
+func (h *heartbeater) note(kind string, block int, msg string) {
+	if h == nil {
+		return
+	}
+	h.fl.Record(kind, block, msg)
+}
+
+func (h *heartbeater) setCurrent(block int) {
+	if h == nil {
+		return
+	}
+	h.current.Store(int64(block))
+}
+
+// sync mirrors the Work loop's running Summary into the heartbeat fields.
+func (h *heartbeater) sync(s Summary) {
+	if h == nil {
+		return
+	}
+	h.completed.Store(int64(s.Completed))
+	h.reclaimed.Store(int64(s.Reclaimed))
+	h.skipped.Store(int64(s.SkippedComplete))
+	h.events.Store(s.Events)
+}
+
+// write flushes one snapshot. Once a final snapshot lands, later writes are
+// dropped so the first exit reason (e.g. "signal: terminated") survives the
+// unwinding Work loop's own "error: context canceled" flush.
+func (h *heartbeater) write(final bool, reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.finalDone {
+		return
+	}
+	now := time.Now()
+	hb := Heartbeat{
+		Worker: h.o.Name, PID: os.Getpid(), Host: h.host,
+		StartUnixMS: h.start.UnixMilli(), UnixMS: now.UnixMilli(),
+		IntervalMS:      h.o.Heartbeat.Milliseconds(),
+		Final:           final,
+		Reason:          reason,
+		CurrentBlock:    int(h.current.Load()),
+		Completed:       int(h.completed.Load()),
+		Reclaimed:       int(h.reclaimed.Load()),
+		SkippedComplete: int(h.skipped.Load()),
+		Flight:          h.fl.Events(),
+		FlightTotal:     h.fl.Total(),
+	}
+	// Event rate: prefer the live runner.events counter (updated every
+	// replication) over Summary events (updated only at block commits).
+	cur := h.events.Load()
+	if h.o.Metrics != nil {
+		snap := h.o.Metrics.Snapshot()
+		hb.Metrics = &snap
+		if v, ok := snap.Counters["runner.events"]; ok {
+			cur = v
+		}
+	}
+	hb.Events = cur
+	if dt := now.Sub(h.lastWrite).Seconds(); !h.lastWrite.IsZero() && dt > 0 && cur >= h.lastEvents {
+		hb.EventsPerSec = float64(cur-h.lastEvents) / dt
+	}
+	h.lastEvents = cur
+	h.lastWrite = now
+	if err := WriteHeartbeat(h.dir, hb); err != nil && h.o.Log != nil {
+		h.o.Log("heartbeat write failed: %v", err)
+	}
+	if final {
+		h.finalDone = true
+	}
+}
+
+// flushFinal writes the terminal snapshot immediately (e.g. from a signal
+// handler) without waiting for the Work loop to unwind.
+func (h *heartbeater) flushFinal(reason string) {
+	if h == nil {
+		return
+	}
+	h.write(true, reason)
+}
+
+// close stops the ticker goroutine and flushes the final snapshot.
+func (h *heartbeater) close(reason string) {
+	if h == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	h.note("exit", -1, reason)
+	h.write(true, reason)
 }
 
 // ResumeReport says what a Resume sweep found and repaired.

@@ -11,10 +11,12 @@ import (
 )
 
 // DebugServer is the live profiling endpoint behind the CLIs' -debug-addr
-// flag: net/http/pprof under /debug/pprof/, expvar under /debug/vars, and
-// a JSON dump of a metrics registry under /metricz. It serves on its own
-// mux (nothing is registered on http.DefaultServeMux) so importing this
-// package never changes an embedding program's routes.
+// flag: net/http/pprof under /debug/pprof/, expvar under /debug/vars, a
+// JSON dump of a metrics registry under /metricz, and the same registry in
+// Prometheus text exposition format under /metricz.prom (so standard
+// scrapers work against single runs and servers alike). It serves on its
+// own mux (nothing is registered on http.DefaultServeMux) so importing
+// this package never changes an embedding program's routes.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -46,12 +48,21 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
 	})
+	mux.HandleFunc("/metricz.prom", func(w http.ResponseWriter, _ *http.Request) {
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		_ = WriteProm(w, snap)
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "debug endpoints: /metricz /debug/vars /debug/pprof/")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "debug endpoints: /metricz /metricz.prom /debug/vars /debug/pprof/")
 	})
 	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = d.srv.Serve(ln) }()

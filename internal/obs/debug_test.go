@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
@@ -69,6 +70,52 @@ func TestDebugServerEndpoints(t *testing.T) {
 	client := http.Client{Timeout: time.Second}
 	if _, err := client.Get(fmt.Sprintf("http://%s/", d.Addr())); err == nil {
 		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestDebugServerPromEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test.count").Add(3)
+	reg.Timer("test.wall_s").Observe(time.Millisecond)
+	d, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metricz.prom", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != PromContentType {
+		t.Fatalf("Content-Type %q, want %q", got, PromContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE test_count counter\ntest_count 3\n",
+		"# TYPE test_wall_s histogram",
+		`test_wall_s_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metricz.prom missing %q:\n%s", want, body)
+		}
+	}
+
+	// The index advertises the scrape path and carries a content type.
+	idx, err := http.Get(fmt.Sprintf("http://%s/", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Body.Close()
+	if got := idx.Header.Get("Content-Type"); got != "text/plain; charset=utf-8" {
+		t.Fatalf("index Content-Type %q", got)
+	}
+	idxBody, _ := io.ReadAll(idx.Body)
+	if !strings.Contains(string(idxBody), "/metricz.prom") {
+		t.Fatalf("index does not advertise /metricz.prom: %s", idxBody)
 	}
 }
 

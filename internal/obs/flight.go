@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightEvent is one entry of a FlightRecorder: a timestamped structured
+// event compact enough to embed whole rings of them in heartbeat
+// snapshots.
+type FlightEvent struct {
+	// UnixMS is the wall-clock record time in milliseconds.
+	UnixMS int64 `json:"unix_ms"`
+	// Kind classifies the event ("claim", "complete", "reclaim", …).
+	Kind string `json:"kind"`
+	// Block is the block the event concerns, or -1 when not block-scoped.
+	Block int `json:"block"`
+	// Msg is the human-readable line.
+	Msg string `json:"msg,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring of the most recent structured
+// events — the crash "black box": a worker records its claims, commits and
+// reclaims into the ring, every heartbeat snapshot carries the ring's
+// contents, and when the process dies without warning (SIGKILL, OOM) the
+// last persisted heartbeat is a postmortem of what it was doing. Safe for
+// concurrent use; recording never allocates once the ring is full-sized,
+// beyond the strings the caller builds.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []FlightEvent
+	next  int
+	total uint64
+}
+
+// DefaultFlightEvents is the ring size NewFlightRecorder(0) uses.
+const DefaultFlightEvents = 64
+
+// NewFlightRecorder returns a recorder keeping the last n events
+// (DefaultFlightEvents when n ≤ 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightEvents
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, 0, n)}
+}
+
+// Record appends one event, evicting the oldest when the ring is full.
+func (f *FlightRecorder) Record(kind string, block int, msg string) {
+	ev := FlightEvent{UnixMS: time.Now().UnixMilli(), Kind: kind, Block: block, Msg: msg}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.total++
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, ev)
+		return
+	}
+	f.ring[f.next] = ev
+	f.next = (f.next + 1) % len(f.ring)
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	out = append(out, f.ring[:f.next]...)
+	return out
+}
+
+// Total returns how many events were ever recorded (including evicted
+// ones), so readers can tell a quiet worker from a wrapped ring.
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}

@@ -1,0 +1,99 @@
+package obs
+
+import "fmt"
+
+// MergeSnapshots folds per-worker registry snapshots into one fleet view,
+// the aggregation primitive behind `cctop -run`: counters sum, gauges keep
+// the last writer (argument order decides, so callers pass snapshots in a
+// deterministic order — e.g. sorted by worker name), and fixed-bound
+// histograms merge bucket-by-bucket, which is exact for counts, sums and
+// min/max and bucket-resolution-exact for the interpolated quantiles.
+// Merging histograms whose bucket bounds differ is an error: the metric
+// layouts are fixed at registration, so a mismatch means the snapshots
+// come from incompatible builds and silently mixing them would corrupt
+// the buckets. Histogram snapshots that carry observations but dropped
+// their bucket vectors (the compact per-replication journal form) are
+// also refused — there is nothing sound to merge.
+func MergeSnapshots(snaps ...Snapshot) (Snapshot, error) {
+	out := Snapshot{
+		Counters:    map[string]uint64{},
+		Gauges:      map[string]int64{},
+		FloatGauges: map[string]float64{},
+		Histograms:  map[string]HistogramSnapshot{},
+		Timers:      map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			out.Gauges[name] = v
+		}
+		for name, v := range s.FloatGauges {
+			out.FloatGauges[name] = v
+		}
+		for name, h := range s.Histograms {
+			merged, err := mergeHistogram(name, out.Histograms[name], h)
+			if err != nil {
+				return Snapshot{}, err
+			}
+			out.Histograms[name] = merged
+		}
+		for name, h := range s.Timers {
+			merged, err := mergeHistogram(name, out.Timers[name], h)
+			if err != nil {
+				return Snapshot{}, err
+			}
+			out.Timers[name] = merged
+		}
+	}
+	for name, h := range out.Histograms {
+		h.fillQuantiles(h.Bounds, h.Counts)
+		out.Histograms[name] = h
+	}
+	for name, h := range out.Timers {
+		h.fillQuantiles(h.Bounds, h.Counts)
+		out.Timers[name] = h
+	}
+	return out, nil
+}
+
+// mergeHistogram folds one snapshot histogram into the accumulated one.
+// Quantiles are NOT refreshed here — MergeSnapshots does that once at the
+// end, from the final merged buckets.
+func mergeHistogram(name string, dst, src HistogramSnapshot) (HistogramSnapshot, error) {
+	if src.Count > 0 && len(src.Counts) == 0 {
+		return dst, fmt.Errorf("obs: merge %q: snapshot carries %d observations but no bucket counts (compact form?)", name, src.Count)
+	}
+	if len(src.Counts) > 0 && len(src.Counts) != len(src.Bounds)+1 {
+		return dst, fmt.Errorf("obs: merge %q: %d bucket counts for %d bounds", name, len(src.Counts), len(src.Bounds))
+	}
+	if len(dst.Counts) == 0 {
+		// First sight of this metric: copy so later folds cannot alias the
+		// caller's slices.
+		out := src
+		out.Bounds = append([]float64(nil), src.Bounds...)
+		out.Counts = append([]uint64(nil), src.Counts...)
+		return out, nil
+	}
+	if len(src.Counts) == 0 {
+		return dst, nil // empty boundless snapshot: nothing to fold
+	}
+	if !equalBounds(dst.Bounds, src.Bounds) {
+		return dst, fmt.Errorf("obs: merge %q: bucket bounds %v != %v", name, src.Bounds, dst.Bounds)
+	}
+	for i, n := range src.Counts {
+		dst.Counts[i] += n
+	}
+	if src.Count > 0 {
+		if dst.Count == 0 || src.Min < dst.Min {
+			dst.Min = src.Min
+		}
+		if dst.Count == 0 || src.Max > dst.Max {
+			dst.Max = src.Max
+		}
+		dst.Count += src.Count
+		dst.Sum += src.Sum
+	}
+	return dst, nil
+}

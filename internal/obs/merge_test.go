@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestMergeSnapshotsEqualsCombinedStream is the aggregator's core
+// property: splitting one observation stream across k worker registries
+// and merging their snapshots must equal observing the combined stream in
+// one registry — exactly for counts, bucket vectors, min and max, exactly
+// for the interpolated quantiles (they are a pure function of the bucket
+// vector plus min/max), and within float re-association error for sums.
+func TestMergeSnapshotsEqualsCombinedStream(t *testing.T) {
+	bounds := ExpBuckets(1e-3, 10, 7)
+	for _, workers := range []int{1, 2, 3, 7} {
+		src := rng.New(uint64(1000 + workers))
+		combined := NewRegistry()
+		regs := make([]*Registry, workers)
+		for w := range regs {
+			regs[w] = NewRegistry()
+		}
+		const n = 5000
+		for i := 0; i < n; i++ {
+			x := math.Exp(src.Float64()*16 - 8) // spans well past both bucket edges
+			w := int(src.Uint64() % uint64(workers))
+			combined.Histogram("h", bounds).Observe(x)
+			regs[w].Histogram("h", bounds).Observe(x)
+			combined.Counter("events").Inc()
+			regs[w].Counter("events").Inc()
+		}
+		snaps := make([]Snapshot, workers)
+		for w, r := range regs {
+			snaps[w] = r.Snapshot()
+		}
+		merged, err := MergeSnapshots(snaps...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := combined.Snapshot()
+
+		if merged.Counters["events"] != want.Counters["events"] {
+			t.Fatalf("workers=%d: counter %d, want %d", workers, merged.Counters["events"], want.Counters["events"])
+		}
+		mh, wh := merged.Histograms["h"], want.Histograms["h"]
+		if mh.Count != wh.Count {
+			t.Fatalf("workers=%d: count %d, want %d", workers, mh.Count, wh.Count)
+		}
+		for i := range wh.Counts {
+			if mh.Counts[i] != wh.Counts[i] {
+				t.Fatalf("workers=%d: bucket %d = %d, want %d", workers, i, mh.Counts[i], wh.Counts[i])
+			}
+		}
+		if mh.Min != wh.Min || mh.Max != wh.Max {
+			t.Fatalf("workers=%d: min/max %g/%g, want %g/%g", workers, mh.Min, mh.Max, wh.Min, wh.Max)
+		}
+		if d := math.Abs(mh.Sum - wh.Sum); d > 1e-9*math.Abs(wh.Sum) {
+			t.Fatalf("workers=%d: sum %g, want %g (Δ %g)", workers, mh.Sum, wh.Sum, d)
+		}
+		// Identical buckets + min/max ⇒ identical interpolated quantiles.
+		for _, q := range [][2]float64{{mh.P50, wh.P50}, {mh.P90, wh.P90}, {mh.P99, wh.P99}} {
+			if q[0] != q[1] {
+				t.Fatalf("workers=%d: quantile %g, want %g", workers, q[0], q[1])
+			}
+		}
+	}
+}
+
+func TestMergeSnapshotsGaugesAndTimers(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge("g").Set(1)
+	b.Gauge("g").Set(2)
+	a.FloatGauge("f").Set(0.25)
+	a.Timer("t").Observe(1500 * time.Microsecond)
+	b.Timer("t").Observe(2500 * time.Microsecond)
+	merged, err := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Gauges["g"] != 2 {
+		t.Fatalf("gauge last-writer = %d, want 2", merged.Gauges["g"])
+	}
+	if merged.FloatGauges["f"] != 0.25 {
+		t.Fatalf("float gauge = %g", merged.FloatGauges["f"])
+	}
+	if tm := merged.Timers["t"]; tm.Count != 2 {
+		t.Fatalf("timer count = %d, want 2", tm.Count)
+	}
+}
+
+func TestMergeSnapshotsEmptyAndErrors(t *testing.T) {
+	// No inputs, and all-empty inputs, merge to an empty snapshot.
+	if s, err := MergeSnapshots(); err != nil || len(s.Counters)+len(s.Histograms) != 0 {
+		t.Fatalf("empty merge = %+v, %v", s, err)
+	}
+	if _, err := MergeSnapshots(Snapshot{}, Snapshot{}); err != nil {
+		t.Fatalf("zero-value snapshots: %v", err)
+	}
+
+	// Mismatched bucket bounds must be refused.
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("h", []float64{1, 2}).Observe(1)
+	b.Histogram("h", []float64{1, 3}).Observe(1)
+	if _, err := MergeSnapshots(a.Snapshot(), b.Snapshot()); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("mismatched bounds merged: %v", err)
+	}
+
+	// The compact (bucketless) histogram form cannot be merged soundly.
+	compact := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 3, Sum: 1, Min: 0.1, Max: 0.9},
+	}}
+	if _, err := MergeSnapshots(compact); err == nil || !strings.Contains(err.Error(), "bucket") {
+		t.Fatalf("compact histogram merged: %v", err)
+	}
+
+	// An observation-free histogram merges as a no-op against real data.
+	c := NewRegistry()
+	c.Histogram("h", []float64{1, 2}) // registered, never observed
+	merged, err := MergeSnapshots(a.Snapshot(), c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := merged.Histograms["h"]; h.Count != 1 || h.Min != 1 {
+		t.Fatalf("empty-histogram merge = %+v", h)
+	}
+}

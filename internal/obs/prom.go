@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package writes (/metricz.prom).
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4), so any standard scraper can watch a run through the
+// same /metricz.prom endpoint cctop uses for JSON. Metric names are
+// sanitized to the Prometheus charset (dots become underscores: the
+// counter "runner.events" scrapes as "runner_events"); counters expose as
+// counter, gauges as gauge, and histograms/timers as histogram with
+// cumulative le-labeled buckets, _sum and _count. Timers keep their
+// second-valued buckets, matching the Prometheus base-unit convention.
+// Metrics are emitted in sorted name order within each kind, so the
+// exposition is deterministic for a given snapshot.
+func WriteProm(w io.Writer, s Snapshot) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		p("# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		p("# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.FloatGauges) {
+		n := promName(name)
+		p("# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.FloatGauges[name]))
+	}
+	writeHist := func(name string, h HistogramSnapshot) {
+		n := promName(name)
+		p("# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, b := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			p("%s_bucket{le=\"%s\"} %d\n", n, promFloat(b), cum)
+		}
+		p("%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		p("%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		writeHist(name, s.Histograms[name])
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		writeHist(name, s.Timers[name])
+	}
+	return err
+}
+
+// promFloat formats a float for the exposition format (NaN/Inf are legal
+// there, spelled NaN, +Inf, -Inf).
+func promFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// promName maps a registry metric name onto the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every disallowed rune becomes an underscore,
+// and a leading digit is prefixed.
+func promName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches the two legal non-comment line shapes of the text
+// exposition format this package emits: `name value` and
+// `name_bucket{le="bound"} value`.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? (NaN|[+-]?Inf|[0-9eE.+-]+)$`)
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runner.events").Add(12)
+	r.Gauge("exec.jobs_running").Set(-2)
+	r.FloatGauge("runner.ci_half_width").Set(0.0125)
+	h := r.Histogram("san.dirty", []float64{1, 10, 100})
+	for _, x := range []float64{0.5, 3, 3, 250} {
+		h.Observe(x)
+	}
+	r.Timer("blocks.block_wall_s").Observe(125 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("line %d not valid exposition format: %q", lines, line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE runner_events counter\nrunner_events 12\n",
+		"# TYPE exec_jobs_running gauge\nexec_jobs_running -2\n",
+		"runner_ci_half_width 0.0125\n",
+		`san_dirty_bucket{le="1"} 1`,
+		`san_dirty_bucket{le="10"} 3`,
+		`san_dirty_bucket{le="100"} 3`,
+		`san_dirty_bucket{le="+Inf"} 4`,
+		"san_dirty_sum 256.5\nsan_dirty_count 4\n",
+		"# TYPE blocks_block_wall_s histogram",
+		`blocks_block_wall_s_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"runner.events":   "runner_events",
+		"phase.hours.i/o": "phase_hours_i_o",
+		"9lives":          "_9lives",
+		"ok_name:sub":     "ok_name:sub",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Record("claim", i, "x")
+	}
+	evs := f.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring kept %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Block != i+2 {
+			t.Fatalf("event %d is block %d, want %d (oldest-first)", i, ev.Block, i+2)
+		}
+	}
+	if f.Total() != 5 {
+		t.Fatalf("total %d, want 5", f.Total())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blocks"
 	"repro/internal/exec"
@@ -75,6 +76,7 @@ func BlockRunner(workers int, metrics *obs.Registry) blocks.RunFunc {
 			forceSim:     true,
 		}.withDefaults()
 		var events atomic.Uint64
+		start := time.Now()
 		outs, err := exec.MapLocal(ctx, pool(opts, &events), b.Reps(), newInstanceCache,
 			func(_ context.Context, cache *instanceCache, i int) (repOut, error) {
 				o, err := runOne(cell.Config, b.Seeds[i], opts, cache)
@@ -92,6 +94,14 @@ func BlockRunner(workers int, metrics *obs.Registry) blocks.RunFunc {
 			out.Records[i] = blocks.Record{
 				Kind:   "replication",
 				Fields: repFields(b.RepStart+i, b.Seeds[i], o, opts),
+			}
+		}
+		// Publish the block's event rate the same way recordEstimate does
+		// for monolithic runs, so worker heartbeats and -debug-addr
+		// dashboards get a live runner.events_per_sec in distributed mode.
+		if metrics != nil {
+			if dt := time.Since(start).Seconds(); dt > 0 {
+				metrics.FloatGauge("runner.events_per_sec").Set(float64(out.Events) / dt)
 			}
 		}
 		return out, nil
