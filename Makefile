@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke cover ci validate-scenarios sweep-resume-smoke obs-smoke figures figures-paper report examples clean
+.PHONY: all build test vet race bench bench-smoke bench-trend cover ci validate-scenarios sweep-resume-smoke obs-smoke provenance-smoke figures figures-paper report examples clean
 
 all: build vet test
 
@@ -31,13 +31,25 @@ bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -run NONE -bench . -benchmem -count=5 ./internal/des ./internal/san ./internal/model ./internal/obs
 
-# Allocation-economy smoke: one iteration of the event-pool and
-# instance-recycle benchmarks, archived as BENCH_5.json via ccbench. Cheap
-# enough for every CI run; the JSON is the artifact regressions are diffed
-# against.
+# Allocation-economy smoke: the event-pool and instance-recycle benchmarks,
+# archived as BENCH_5.json via ccbench. -benchtime=1x was a measurement
+# theater — a single iteration times mostly setup and scheduler noise, so
+# the archived ns/op could swing 10x between identical commits; 100
+# iterations × 3 samples gives compare's median+MAD detector something with
+# an actual central tendency, while staying cheap enough for every CI run.
 bench-smoke:
-	$(GO) test -run NONE -bench 'ScheduleFire$$|RecycleVsRebuild' -benchtime=1x -benchmem \
+	$(GO) test -run NONE -bench 'ScheduleFire$$|RecycleVsRebuild' -benchtime=100x -count=3 -benchmem \
 		./internal/des ./internal/model | $(GO) run ./cmd/ccbench -o BENCH_5.json
+
+# Performance-regression sentinel: run the smoke benchmarks, append a
+# provenance-stamped report to the local history, render the trend, and
+# gate on the last two entries (median + MAD noise band; -warn-only keeps
+# local runs informative rather than fatal — CI drops the flag).
+bench-trend:
+	$(GO) test -run NONE -bench 'ScheduleFire$$|RecycleVsRebuild' -benchtime=100x -count=3 -benchmem \
+		./internal/des ./internal/model | $(GO) run ./cmd/ccbench record -history BENCH_HISTORY.jsonl -o BENCH_5.json
+	$(GO) run ./cmd/ccbench trend -history BENCH_HISTORY.jsonl
+	$(GO) run ./cmd/ccbench compare -history BENCH_HISTORY.jsonl -warn-only
 
 # Coverage profile plus a per-package summary (total line last).
 cover:
@@ -78,11 +90,23 @@ obs-smoke:
 	$(GO) test -run 'TestMergeSnapshots|TestWriteProm|TestDebugServerPromEndpoint|TestFlightRecorder' ./internal/obs
 	$(GO) test -run 'TestScanStateSingleValued|TestWorkWritesHeartbeats|TestCollectFleet|TestWriteTimeline' ./internal/blocks
 
+# Provenance-and-profiles gate: two real worker processes run a planned
+# sweep and the run directory must identify what produced it — heartbeats
+# stamped with binary provenance and the manifest hash, a doctored stamp
+# flagged as a mixed-binary fleet with the minority worker marked, and an
+# armed ProfileCapture leaving parseable pprof files. Plus the in-process
+# gates: fleet majority vote, Work-loop stamping, and the ccbench sentinel
+# end-to-end (bench → record → doctored regression → compare exits 1).
+provenance-smoke:
+	$(GO) test -count=1 -run 'TestProvenanceAndProfilesEndToEnd' -v ./cmd/ccsweep
+	$(GO) test -run 'TestCollectFleetProvenanceMismatch|TestWorkStampsProvenance' ./internal/blocks
+	$(GO) test -count=1 -run 'TestSentinelEndToEnd' ./cmd/ccbench
+
 # Everything the GitHub Actions workflow runs (.github/workflows/ci.yml),
 # locally: the tier-1 suite, the race tier, the coverage profile, the
-# scenario-catalog gate, the sweep crash-resume gate, and the fleet
-# telemetry gate.
-ci: all race cover validate-scenarios sweep-resume-smoke obs-smoke
+# scenario-catalog gate, the sweep crash-resume gate, the fleet telemetry
+# gate, and the provenance/sentinel gate.
+ci: all race cover validate-scenarios sweep-resume-smoke obs-smoke provenance-smoke
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

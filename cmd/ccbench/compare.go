@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// cmdCompare judges new benchmark numbers against old ones. Two modes:
+// two positional report files (convert/record -o artifacts), or -history
+// FILE which compares the last two recorded entries. A change only counts
+// as a regression when it clears BOTH the relative threshold and the
+// noise band derived from the old run's own -count samples (median ±
+// noise·MAD) — a single-sample run has no measurable noise, which is why
+// bench-smoke runs -count=3.
+func cmdCompare(args []string, stdout io.Writer) error {
+	fs := newFlagSet("compare",
+		"ccbench compare [-threshold f] [-noise f] [-metric unit] [-warn-only] old.json new.json | -history FILE", stdout)
+	history := fs.String("history", "", "compare the last two entries of this JSONL history `file`")
+	threshold := fs.Float64("threshold", 0.10, "minimum relative degradation to flag (0.10 = 10%)")
+	noise := fs.Float64("noise", 3, "noise band width in MADs of the old run's samples")
+	metric := fs.String("metric", "", "compare only this metric `unit` (default: every directional unit)")
+	warnOnly := fs.Bool("warn-only", false, "report regressions but exit zero (CI soft gate)")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	var oldRep, newRep Report
+	switch {
+	case *history != "" && fs.NArg() == 0:
+		reports, err := readHistory(*history)
+		if err != nil {
+			return err
+		}
+		if len(reports) < 2 {
+			fmt.Fprintf(stdout, "history %s has %d entries — nothing to compare yet\n", *history, len(reports))
+			return nil
+		}
+		oldRep, newRep = reports[len(reports)-2], reports[len(reports)-1]
+	case *history == "" && fs.NArg() == 2:
+		var err error
+		if oldRep, err = loadReport(fs.Arg(0)); err != nil {
+			return err
+		}
+		if newRep, err = loadReport(fs.Arg(1)); err != nil {
+			return err
+		}
+	default:
+		fs.Usage()
+		return fmt.Errorf("compare needs either two report files or -history FILE")
+	}
+	deltas := compareReports(oldRep, newRep, *metric, *threshold, *noise)
+	printCompare(stdout, oldRep, newRep, deltas)
+	var regressed []string
+	for _, d := range deltas {
+		if d.Regression {
+			regressed = append(regressed, fmt.Sprintf("%s %s %+.1f%%", d.Key, d.Unit, d.Percent))
+		}
+	}
+	if len(regressed) == 0 {
+		return nil
+	}
+	if *warnOnly {
+		fmt.Fprintf(stdout, "WARNING: %d regression(s) (warn-only): %s\n",
+			len(regressed), strings.Join(regressed, "; "))
+		return nil
+	}
+	return fmt.Errorf("%d benchmark regression(s): %s", len(regressed), strings.Join(regressed, "; "))
+}
+
+// Delta is one (benchmark, metric) judgement.
+type Delta struct {
+	Key, Unit          string
+	OldMedian          float64
+	NewMedian          float64
+	Percent            float64 // signed relative change, + = value grew
+	OldMAD             float64
+	Samples            int // old-run sample count behind the noise band
+	Regression         bool
+	Improvement        bool
+	HigherBetter       bool
+	ExceedsNoise, Gone bool
+}
+
+// higherBetter classifies a metric unit by direction: rates (events/s,
+// MB/s, anything per second) grow when things improve; per-op costs
+// shrink. Unknown units default to lower-better, matching ns/op intuition.
+func higherBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s") || strings.HasSuffix(unit, "/sec")
+}
+
+// compareReports reduces each report's -count duplicates to medians and
+// judges every (benchmark, metric) pair present in both. A pair is a
+// regression when the degradation exceeds both threshold·oldMedian and
+// noise·MAD(old samples); the symmetric rule marks improvements.
+func compareReports(oldRep, newRep Report, onlyUnit string, threshold, noiseMult float64) []Delta {
+	type key struct{ k, unit string }
+	samplesOf := func(rep Report) map[key][]float64 {
+		m := map[key][]float64{}
+		for _, b := range rep.Benchmarks {
+			for unit, v := range b.Metrics {
+				if onlyUnit != "" && unit != onlyUnit {
+					continue
+				}
+				kk := key{b.Key(), unit}
+				m[kk] = append(m[kk], v)
+			}
+		}
+		return m
+	}
+	olds, news := samplesOf(oldRep), samplesOf(newRep)
+	var keys []key
+	for k := range olds {
+		if _, ok := news[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].k != keys[j].k {
+			return keys[i].k < keys[j].k
+		}
+		return keys[i].unit < keys[j].unit
+	})
+	var out []Delta
+	for _, k := range keys {
+		oldS, newS := olds[k], news[k]
+		d := Delta{
+			Key: k.k, Unit: k.unit,
+			OldMedian:    median(oldS),
+			NewMedian:    median(newS),
+			OldMAD:       mad(oldS),
+			Samples:      len(oldS),
+			HigherBetter: higherBetter(k.unit),
+		}
+		if d.OldMedian != 0 {
+			d.Percent = (d.NewMedian - d.OldMedian) / math.Abs(d.OldMedian) * 100
+		}
+		// degradation: positive when the change hurts.
+		degradation := d.NewMedian - d.OldMedian
+		if d.HigherBetter {
+			degradation = -degradation
+		}
+		band := math.Max(threshold*math.Abs(d.OldMedian), noiseMult*d.OldMAD)
+		d.ExceedsNoise = math.Abs(d.NewMedian-d.OldMedian) > band
+		if degradation > band && band > 0 {
+			d.Regression = true
+		} else if -degradation > band && band > 0 {
+			d.Improvement = true
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func printCompare(w io.Writer, oldRep, newRep Report, deltas []Delta) {
+	oldID, newID := reportID(oldRep), reportID(newRep)
+	fmt.Fprintf(w, "comparing %s -> %s (%d series)\n", oldID, newID, len(deltas))
+	for _, d := range deltas {
+		mark := " "
+		switch {
+		case d.Regression:
+			mark = "✗"
+		case d.Improvement:
+			mark = "✓"
+		}
+		fmt.Fprintf(w, "%s %-50s %-10s %12s -> %-12s %+.1f%% (n=%d, mad=%s)\n",
+			mark, d.Key, d.Unit, formatValue(d.OldMedian), formatValue(d.NewMedian),
+			d.Percent, d.Samples, formatValue(d.OldMAD))
+	}
+}
+
+// reportID labels a report for the comparison header: its provenance
+// binary ID when stamped, else its note, else "unstamped".
+func reportID(rep Report) string {
+	if rep.Provenance != nil {
+		return rep.Provenance.BinaryID()
+	}
+	if rep.Note != "" {
+		return rep.Note
+	}
+	return "unstamped"
+}
+
+// median returns the middle of a copy of xs (upper middle for even n —
+// consistent everywhere a median is taken in this command).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// mad is the median absolute deviation from the median — the robust noise
+// scale compare's band is built from. Zero for n < 2 (one sample has no
+// spread to measure; the threshold alone gates then).
+func mad(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return median(dev)
+}

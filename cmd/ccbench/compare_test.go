@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// mkReport builds a report with -count style duplicate rows: one row per
+// sample value, all under the same name.
+func mkReport(name, unit string, samples ...float64) Report {
+	rep := Report{}
+	for _, v := range samples {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Pkg: "p", Name: name, Iterations: 1,
+			Metrics: map[string]float64{unit: v},
+		})
+	}
+	return rep
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := median(nil); !math.IsNaN(m) {
+		t.Fatalf("median(nil) = %v", m)
+	}
+	// median of {10,12,14,100} is 14 (upper middle); deviations sort to
+	// {0,2,4,86}, whose upper middle is 4.
+	if m := mad([]float64{10, 12, 14, 100}); m != 4 {
+		t.Fatalf("mad = %v", m)
+	}
+	if m := mad([]float64{5}); m != 0 {
+		t.Fatalf("single-sample mad = %v", m)
+	}
+}
+
+// TestCompareDetectsRegression: a 3x slowdown on ns/op clears both the
+// threshold and the noise band and is flagged; the error names the
+// benchmark.
+func TestCompareDetectsRegression(t *testing.T) {
+	oldRep := mkReport("Fire", "ns/op", 48, 49, 50)
+	newRep := mkReport("Fire", "ns/op", 150, 151, 149)
+	deltas := compareReports(oldRep, newRep, "", 0.10, 3)
+	if len(deltas) != 1 || !deltas[0].Regression {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	if deltas[0].Improvement {
+		t.Fatal("both flags set")
+	}
+}
+
+// TestCompareNoiseBandSuppressesJitter: a 15% "regression" inside the MAD
+// noise band of a wildly jittery old run is NOT flagged, even though it
+// clears the relative threshold.
+func TestCompareNoiseBandSuppressesJitter(t *testing.T) {
+	oldRep := mkReport("Jitter", "ns/op", 100, 60, 140) // MAD = 40
+	newRep := mkReport("Jitter", "ns/op", 115, 115, 115)
+	deltas := compareReports(oldRep, newRep, "", 0.10, 3)
+	if len(deltas) != 1 || deltas[0].Regression {
+		t.Fatalf("jitter flagged as regression: %+v", deltas)
+	}
+	// The same 15% move against a quiet old run IS a regression.
+	quiet := mkReport("Jitter", "ns/op", 100, 100, 100)
+	deltas = compareReports(quiet, newRep, "", 0.10, 3)
+	if !deltas[0].Regression {
+		t.Fatalf("15%% over a quiet baseline not flagged: %+v", deltas)
+	}
+}
+
+// TestCompareDirectionality: events/s is higher-better — a drop is a
+// regression, a rise is an improvement; ns/op is the reverse.
+func TestCompareDirectionality(t *testing.T) {
+	oldRep := mkReport("Rate", "events/s", 1000, 1000, 1000)
+	slower := mkReport("Rate", "events/s", 500, 500, 500)
+	faster := mkReport("Rate", "events/s", 2000, 2000, 2000)
+	if d := compareReports(oldRep, slower, "", 0.10, 3); !d[0].Regression {
+		t.Fatalf("events/s drop not a regression: %+v", d)
+	}
+	if d := compareReports(oldRep, faster, "", 0.10, 3); !d[0].Improvement || d[0].Regression {
+		t.Fatalf("events/s rise not an improvement: %+v", d)
+	}
+	oldNs := mkReport("Op", "ns/op", 100, 100, 100)
+	fastNs := mkReport("Op", "ns/op", 50, 50, 50)
+	if d := compareReports(oldNs, fastNs, "", 0.10, 3); !d[0].Improvement {
+		t.Fatalf("ns/op drop not an improvement: %+v", d)
+	}
+}
+
+// TestCompareMetricFilterAndDisjoint: -metric restricts the series; a
+// benchmark present on only one side is skipped, not crashed on.
+func TestCompareMetricFilterAndDisjoint(t *testing.T) {
+	oldRep := mkReport("A", "ns/op", 100)
+	oldRep.Benchmarks = append(oldRep.Benchmarks, Benchmark{Pkg: "p", Name: "A", Metrics: map[string]float64{"B/op": 64}})
+	newRep := mkReport("A", "ns/op", 300)
+	newRep.Benchmarks = append(newRep.Benchmarks, mkReport("OnlyNew", "ns/op", 1).Benchmarks...)
+	deltas := compareReports(oldRep, newRep, "B/op", 0.10, 3)
+	if len(deltas) != 0 {
+		t.Fatalf("B/op exists only in old; deltas = %+v", deltas)
+	}
+	deltas = compareReports(oldRep, newRep, "ns/op", 0.10, 3)
+	if len(deltas) != 1 || deltas[0].Key != "p.A" {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+}
+
+// TestCmdCompareFilesAndWarnOnly drives the subcommand end to end over
+// report files: a regression exits non-zero naming the benchmark, and
+// -warn-only downgrades it to a warning.
+func TestCmdCompareFilesAndWarnOnly(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.json", dir+"/new.json"
+	var sink bytes.Buffer
+	if err := writeReport(mkReport("Fire", "ns/op", 48, 49, 50), oldPath, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(mkReport("Fire", "ns/op", 150, 151, 149), newPath, &sink); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"compare", oldPath, newPath}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "Fire") {
+		t.Fatalf("regression error = %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"compare", "-warn-only", oldPath, newPath}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("warn-only exited non-zero: %v", err)
+	}
+	if !strings.Contains(out.String(), "WARNING") {
+		t.Fatalf("warn-only output missing warning:\n%s", out.String())
+	}
+	// Usage errors: no files, or files plus -history.
+	if err := run([]string{"compare"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("compare with no inputs accepted")
+	}
+	if err := run([]string{"compare", "-history", "h.jsonl", oldPath, newPath}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("compare with both modes accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/asciichart"
+	"repro/internal/provenance"
+)
+
+// cmdRecord parses a transcript, stamps it with provenance and a
+// timestamp, and appends it as one compact JSON line to the history file.
+// The append is O_APPEND on a single line, so concurrent recorders from
+// different CI jobs interleave whole records, never torn ones.
+func cmdRecord(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := newFlagSet("record", "ccbench record -history FILE [-o file.json] [-note s] < bench-output", stdout)
+	history := fs.String("history", "", "append the stamped report to this JSONL `file` (required)")
+	out := fs.String("o", "", "also write the stamped report as indented JSON to this `file`")
+	note := fs.String("note", "", "free-text label stored in the report (e.g. a commit subject)")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *history == "" || fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("record needs -history FILE and no positional arguments")
+	}
+	rep, err := parseBench(stdin)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	rep.Note = *note
+	rep.UnixMS = time.Now().UnixMilli()
+	stamp := provenance.Collect()
+	rep.Provenance = &stamp
+	if err := appendHistory(*history, rep); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := writeReport(rep, *out, stdout); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "recorded %d benchmarks to %s (%s)\n",
+		len(rep.Benchmarks), *history, stamp.BinaryID())
+	return nil
+}
+
+// appendHistory adds one report as a single JSONL line.
+func appendHistory(path string, rep Report) error {
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readHistory loads every report line, oldest first. Blank lines are
+// skipped; a malformed line is an error (the history is an append-only
+// artifact — corruption should stop the pipeline, not be papered over).
+func readHistory(path string) ([]Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Report
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rep Report
+		if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", path, len(out)+1, err)
+		}
+		out = append(out, rep)
+	}
+	return out, sc.Err()
+}
+
+// defaultTrendMetrics are the units trend renders when -metric is unset.
+var defaultTrendMetrics = []string{"ns/op", "events/s", "allocs/op"}
+
+// cmdTrend renders one sparkline per benchmark and metric across the
+// history: per-entry medians (collapsing -count duplicates), oldest to
+// newest, annotated with the latest value and the delta against the
+// previous entry.
+func cmdTrend(args []string, stdout io.Writer) error {
+	fs := newFlagSet("trend", "ccbench trend -history FILE [-metric unit] [-w n]", stdout)
+	history := fs.String("history", "", "JSONL history `file` written by ccbench record (required)")
+	metric := fs.String("metric", "", "render only this metric `unit` (default: ns/op, events/s, allocs/op)")
+	width := fs.Int("w", 40, "sparkline width in cells")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *history == "" || fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("trend needs -history FILE and no positional arguments")
+	}
+	reports, err := readHistory(*history)
+	if err != nil {
+		return err
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("%s: empty history", *history)
+	}
+	metrics := defaultTrendMetrics
+	if *metric != "" {
+		metrics = []string{*metric}
+	}
+
+	last := reports[len(reports)-1]
+	fmt.Fprintf(stdout, "history %s: %d entries", *history, len(reports))
+	if last.Provenance != nil {
+		fmt.Fprintf(stdout, ", latest %s", last.Provenance.BinaryID())
+	}
+	if last.UnixMS != 0 {
+		fmt.Fprintf(stdout, " at %s", time.UnixMilli(last.UnixMS).UTC().Format(time.RFC3339))
+	}
+	fmt.Fprintln(stdout)
+
+	for _, key := range historyKeys(reports) {
+		printed := false
+		for _, unit := range metrics {
+			series := seriesOf(reports, key, unit)
+			if !hasValue(series) {
+				continue
+			}
+			if !printed {
+				fmt.Fprintf(stdout, "%s\n", key)
+				printed = true
+			}
+			cur, prev, n := lastTwo(series)
+			delta := ""
+			if n >= 2 && prev != 0 {
+				delta = fmt.Sprintf("  %+.1f%%", (cur-prev)/prev*100)
+			}
+			fmt.Fprintf(stdout, "  %-10s %s  %s%s\n",
+				unit, asciichart.Sparkline(series, *width), formatValue(cur), delta)
+		}
+	}
+	return nil
+}
+
+// historyKeys returns every benchmark key seen across the history, sorted.
+func historyKeys(reports []Report) []string {
+	seen := map[string]bool{}
+	for _, rep := range reports {
+		for _, b := range rep.Benchmarks {
+			seen[b.Key()] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// seriesOf extracts one (benchmark, metric) series: the per-report median
+// over -count duplicates, NaN when a report lacks the benchmark (renders
+// as a gap in the sparkline rather than shifting the series).
+func seriesOf(reports []Report, key, unit string) []float64 {
+	out := make([]float64, len(reports))
+	for i, rep := range reports {
+		var samples []float64
+		for _, b := range rep.Benchmarks {
+			if b.Key() != key {
+				continue
+			}
+			if v, ok := b.Metrics[unit]; ok {
+				samples = append(samples, v)
+			}
+		}
+		if len(samples) == 0 {
+			out[i] = nan()
+			continue
+		}
+		out[i] = median(samples)
+	}
+	return out
+}
+
+func hasValue(series []float64) bool {
+	for _, v := range series {
+		if v == v { // not NaN
+			return true
+		}
+	}
+	return false
+}
+
+// lastTwo returns the newest and second-newest finite values and how many
+// finite values exist.
+func lastTwo(series []float64) (cur, prev float64, n int) {
+	cur, prev = nan(), nan()
+	for i := len(series) - 1; i >= 0; i-- {
+		if v := series[i]; v == v {
+			n++
+			if n == 1 {
+				cur = v
+			} else if n == 2 {
+				prev = v
+				// keep counting for n, values are set
+			}
+		}
+	}
+	return cur, prev, n
+}
+
+func formatValue(v float64) string {
+	if v != v {
+		return "-"
+	}
+	switch {
+	case v >= 1e6 || (v > 0 && v < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func nan() float64 { return math.NaN() }

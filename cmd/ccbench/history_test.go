@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecordAppendsStampedHistory: record parses the transcript, stamps
+// provenance + timestamp, appends one JSONL line per invocation, and the
+// duplicate -count rows survive into the history.
+func TestRecordAppendsStampedHistory(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	var out bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if err := run([]string{"record", "-history", hist, "-note", "run"}, strings.NewReader(transcript), &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reports, err := readHistory(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("history entries = %d, want 2", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.UnixMS == 0 || rep.Provenance == nil || rep.Provenance.GoVersion == "" {
+			t.Fatalf("unstamped history entry: %+v", rep)
+		}
+		if rep.Note != "run" {
+			t.Fatalf("note = %q", rep.Note)
+		}
+		if len(rep.Benchmarks) != 4 {
+			t.Fatalf("benchmarks = %d, want 4 (duplicates must survive)", len(rep.Benchmarks))
+		}
+	}
+	// record without -history is a usage error; empty input is an error.
+	if err := run([]string{"record"}, strings.NewReader(transcript), &out); err == nil {
+		t.Fatal("record without -history accepted")
+	}
+	if err := run([]string{"record", "-history", hist}, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Fatal("benchmark-free record accepted")
+	}
+}
+
+// TestRecordAlsoWritesReport: -o emits the same stamped report as a
+// pretty-printed artifact.
+func TestRecordAlsoWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	hist, rep := filepath.Join(dir, "h.jsonl"), filepath.Join(dir, "r.json")
+	var out bytes.Buffer
+	if err := run([]string{"record", "-history", hist, "-o", rep}, strings.NewReader(transcript), &out); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Provenance == nil || loaded.UnixMS == 0 {
+		t.Fatalf("-o report unstamped: %+v", loaded)
+	}
+}
+
+// TestTrendRendersSparklines: trend prints one sparkline row per
+// benchmark/metric with the latest value and a delta, plus the history
+// header with the latest binary ID.
+func TestTrendRendersSparklines(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	for _, ns := range []float64{100, 110, 200} {
+		if err := appendHistory(hist, mkReport("Fire", "ns/op", ns, ns+1, ns-1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"trend", "-history", hist}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "3 entries") || !strings.Contains(s, "p.Fire") || !strings.Contains(s, "ns/op") {
+		t.Fatalf("trend output:\n%s", s)
+	}
+	// 110 -> 200 is +81.8%; the sparkline uses block runes.
+	if !strings.Contains(s, "+81.8%") {
+		t.Fatalf("trend delta missing:\n%s", s)
+	}
+	if !strings.ContainsAny(s, "▁▂▃▄▅▆▇█") {
+		t.Fatalf("no sparkline in trend output:\n%s", s)
+	}
+	// -metric filters to one unit; an unknown unit renders nothing but
+	// still succeeds (the header remains).
+	out.Reset()
+	if err := run([]string{"trend", "-history", hist, "-metric", "B/op"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "ns/op") {
+		t.Fatalf("-metric filter leaked other units:\n%s", out.String())
+	}
+	// Usage / error paths.
+	if err := run([]string{"trend"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("trend without -history accepted")
+	}
+	if err := run([]string{"trend", "-history", filepath.Join(t.TempDir(), "missing.jsonl")}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing history accepted")
+	}
+}
+
+// TestTrendGapsForMissingBenchmarks: a benchmark absent from one history
+// entry renders as a gap, and series alignment is preserved.
+func TestTrendGapsForMissingBenchmarks(t *testing.T) {
+	reports := []Report{
+		mkReport("A", "ns/op", 100),
+		mkReport("B", "ns/op", 5),
+		mkReport("A", "ns/op", 120),
+	}
+	series := seriesOf(reports, "p.A", "ns/op")
+	if len(series) != 3 || series[0] != 100 || series[2] != 120 {
+		t.Fatalf("series = %v", series)
+	}
+	if series[1] == series[1] { // middle must be NaN
+		t.Fatalf("gap not NaN: %v", series)
+	}
+	cur, prev, n := lastTwo(series)
+	if cur != 120 || prev != 100 || n != 2 {
+		t.Fatalf("lastTwo = %v %v %d", cur, prev, n)
+	}
+}
+
+// TestCompareHistoryMode: -history compares the last two entries; a
+// single-entry history is a clean no-op (first CI run ever).
+func TestCompareHistoryMode(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := appendHistory(hist, mkReport("Fire", "ns/op", 48, 49, 50)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"compare", "-history", hist}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("single-entry history errored: %v", err)
+	}
+	if !strings.Contains(out.String(), "nothing to compare") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+	if err := appendHistory(hist, mkReport("Fire", "ns/op", 150, 151, 149)); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := run([]string{"compare", "-history", hist}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "Fire") {
+		t.Fatalf("history regression error = %v", err)
+	}
+}
+
+// TestHelpAndUsage: the top-level help and per-subcommand -h exit cleanly
+// with usage text.
+func TestHelpAndUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"help"}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ccbench record") {
+		t.Fatalf("help output:\n%s", out.String())
+	}
+	for _, cmd := range []string{"convert", "record", "trend", "compare"} {
+		out.Reset()
+		if err := run([]string{cmd, "-h"}, strings.NewReader(""), &out); err != nil {
+			t.Fatalf("%s -h: %v", cmd, err)
+		}
+		if !strings.Contains(out.String(), "usage:") {
+			t.Fatalf("%s -h output:\n%s", cmd, out.String())
+		}
+	}
+}

@@ -1,25 +1,37 @@
-// Command ccbench converts `go test -bench` output into machine-readable
-// JSON, so benchmark runs can be archived as CI artifacts and diffed across
-// commits. It reads the benchmark transcript from stdin and emits one JSON
-// document with the platform headers and every benchmark's metrics — the
-// standard ns/op, B/op and allocs/op plus any custom b.ReportMetric units
-// (events/s, opt-procs@1yr, ...):
+// Command ccbench is the performance-regression sentinel: it converts
+// `go test -bench` output into machine-readable JSON, archives stamped
+// reports into a benchmark history, renders per-benchmark trends, and
+// gates changes by comparing two runs with a statistically honest noise
+// band.
+//
+// Subcommands:
+//
+//	ccbench [convert] [-o file.json] [-note s]   < bench-output
+//	ccbench record -history BENCH_HISTORY.jsonl [-o file.json] [-note s] < bench-output
+//	ccbench trend  -history BENCH_HISTORY.jsonl [-metric ns/op] [-w 40]
+//	ccbench compare [flags] old.json new.json
+//	ccbench compare [flags] -history BENCH_HISTORY.jsonl
+//
+// The default (convert) mode reads a benchmark transcript from stdin and
+// emits one JSON document with the platform headers and every benchmark's
+// metrics — the standard ns/op, B/op and allocs/op plus any custom
+// b.ReportMetric units (events/s, opt-procs@1yr, ...):
 //
 //	go test -run NONE -bench 'ScheduleFire|RecycleVsRebuild' -benchmem \
 //	    ./internal/des ./internal/model | ccbench -o BENCH_5.json
 //
-// A FAIL line in the transcript makes ccbench exit non-zero, so a pipeline
-// cannot silently archive a broken run.
+// `record` additionally stamps the report with the run's provenance
+// (commit, go version, CPU, host) and a timestamp, and appends it as one
+// line to a JSONL history file — the substrate `trend` and `compare
+// -history` read. A FAIL line in the transcript makes ccbench exit
+// non-zero, so a pipeline cannot silently archive a broken run.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 )
 
 func main() {
@@ -29,14 +41,82 @@ func main() {
 	}
 }
 
+// run dispatches the subcommand. Every subcommand owns a flag.FlagSet with
+// real usage text; the bare form is an alias for `convert` so existing
+// pipelines (`... | ccbench -o out.json`) keep working.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	out := ""
-	switch {
-	case len(args) == 0:
-	case len(args) == 2 && args[0] == "-o":
-		out = args[1]
-	default:
-		return fmt.Errorf("usage: ccbench [-o file.json] < bench-output")
+	cmd, rest := "convert", args
+	if len(args) > 0 {
+		switch args[0] {
+		case "convert", "record", "trend", "compare":
+			cmd, rest = args[0], args[1:]
+		case "help", "-help", "--help", "-h":
+			printUsage(stdout)
+			return nil
+		}
+	}
+	switch cmd {
+	case "convert":
+		return cmdConvert(rest, stdin, stdout)
+	case "record":
+		return cmdRecord(rest, stdin, stdout)
+	case "trend":
+		return cmdTrend(rest, stdout)
+	case "compare":
+		return cmdCompare(rest, stdout)
+	}
+	panic("unreachable")
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprint(w, `ccbench — benchmark sentinel: convert, archive, trend and gate go benchmarks
+
+usage:
+  ccbench [convert] [-o file.json] [-note s]        < bench-output
+  ccbench record -history FILE [-o file.json]       < bench-output
+  ccbench trend  -history FILE [-metric unit] [-w n]
+  ccbench compare [-threshold f] [-noise f] [-metric unit] [-warn-only] old.json new.json
+  ccbench compare ... -history FILE                 (compares the last two entries)
+
+Run any subcommand with -h for its flags.
+`)
+}
+
+// newFlagSet builds a subcommand flag set that reports errors instead of
+// exiting, with usage text routed to w.
+func newFlagSet(name, usage string, w io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(w)
+	fs.Usage = func() {
+		fmt.Fprintf(w, "usage: %s\n", usage)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+// parseFlags runs fs over args, mapping -h/-help to a clean exit (the
+// usage text has already been printed by the FlagSet).
+func parseFlags(fs *flag.FlagSet, args []string) (help bool, err error) {
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return true, nil
+		}
+		return false, err
+	}
+	return false, nil
+}
+
+// cmdConvert is the historic mode: transcript on stdin, JSON out.
+func cmdConvert(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := newFlagSet("convert", "ccbench [convert] [-o file.json] [-note s] < bench-output", stdout)
+	out := fs.String("o", "", "write the JSON report to this `file` instead of stdout")
+	note := fs.String("note", "", "free-text label stored in the report (e.g. a PR number)")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	rep, err := parseBench(stdin)
 	if err != nil {
@@ -45,96 +125,6 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines in input")
 	}
-	enc, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	enc = append(enc, '\n')
-	if out == "" {
-		_, err = stdout.Write(enc)
-		return err
-	}
-	return os.WriteFile(out, enc, 0o644)
-}
-
-// Report is the JSON document ccbench emits.
-type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// Benchmark is one result line. With -count=N the same name appears N times.
-type Benchmark struct {
-	Pkg        string             `json:"pkg,omitempty"`
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// parseBench scans a `go test -bench` transcript: platform headers
-// (goos/goarch/pkg/cpu), benchmark result lines, and the trailing ok/FAIL
-// package lines. Unrecognized lines are skipped, FAIL is an error.
-func parseBench(r io.Reader) (Report, error) {
-	var rep Report
-	pkg := ""
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "pkg: "):
-			pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "FAIL"):
-			return rep, fmt.Errorf("benchmark transcript contains a failure: %s", line)
-		case strings.HasPrefix(line, "Benchmark"):
-			b, err := parseLine(line)
-			if err != nil {
-				return rep, err
-			}
-			b.Pkg = pkg
-			rep.Benchmarks = append(rep.Benchmarks, b)
-		}
-	}
-	return rep, sc.Err()
-}
-
-// parseLine parses one result line:
-//
-//	BenchmarkScheduleFire-8  24941218  48.0 ns/op  0 B/op  0 allocs/op
-//
-// i.e. name, iteration count, then (value, unit) pairs.
-func parseLine(line string) (Benchmark, error) {
-	f := strings.Fields(line)
-	if len(f) < 2 || len(f)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
-	}
-	b := Benchmark{Metrics: make(map[string]float64)}
-	b.Name = strings.TrimPrefix(f[0], "Benchmark")
-	if i := strings.LastIndex(b.Name, "-"); i >= 0 {
-		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
-			b.Name, b.Procs = b.Name[:i], procs
-		}
-	}
-	iters, err := strconv.ParseInt(f[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
-	}
-	b.Iterations = iters
-	for i := 2; i < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return Benchmark{}, fmt.Errorf("bad metric value %q in %q: %w", f[i], line, err)
-		}
-		b.Metrics[f[i+1]] = v
-	}
-	return b, nil
+	rep.Note = *note
+	return writeReport(rep, *out, stdout)
 }

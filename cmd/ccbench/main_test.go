@@ -89,6 +89,74 @@ func TestRunWritesFile(t *testing.T) {
 	}
 }
 
+// TestParseLineEdgeCases pins the -procs suffix split on awkward names:
+// sub-benchmarks whose segments contain `/` and `-`, names ending in a
+// dash-number at GOMAXPROCS=1 (the documented ambiguity: the number is
+// eaten as procs, per the go convention), names that are nothing but a
+// dash-number, and custom b.ReportMetric units.
+func TestParseLineEdgeCases(t *testing.T) {
+	cases := []struct {
+		line      string
+		name      string
+		procs     int
+		unit      string
+		value     float64
+		iterCount int64
+	}{
+		{"BenchmarkSweep/n=64-2/mode=max-of-n-8 100 5.0 ns/op", "Sweep/n=64-2/mode=max-of-n", 8, "ns/op", 5, 100},
+		{"BenchmarkFib-20 100 5.0 ns/op", "Fib", 20, "ns/op", 5, 100}, // GOMAXPROCS=1 ambiguity, pinned
+		{"Benchmark-8 100 5.0 ns/op", "-8", 0, "ns/op", 5, 100},       // suffix-only name survives
+		{"BenchmarkX-0 100 5.0 ns/op", "X-0", 0, "ns/op", 5, 100},     // procs must be positive
+		{"BenchmarkOpt-4 7 1.25 opt-procs@1yr", "Opt", 4, "opt-procs@1yr", 1.25, 7},
+		{"BenchmarkRate-4 7 3714600 events/s", "Rate", 4, "events/s", 3714600, 7},
+	}
+	for _, tc := range cases {
+		b, err := parseLine(tc.line)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.line, err)
+		}
+		if b.Name != tc.name || b.Procs != tc.procs || b.Iterations != tc.iterCount {
+			t.Fatalf("%q parsed as %+v, want name %q procs %d iters %d", tc.line, b, tc.name, tc.procs, tc.iterCount)
+		}
+		if b.Metrics[tc.unit] != tc.value {
+			t.Fatalf("%q metrics = %v, want %s=%v", tc.line, b.Metrics, tc.unit, tc.value)
+		}
+	}
+}
+
+// TestParseBenchFailMidStream: a FAIL after valid benchmark lines still
+// poisons the transcript.
+func TestParseBenchFailMidStream(t *testing.T) {
+	in := "BenchmarkA-4 10 5.0 ns/op\nFAIL\trepro/internal/des\t0.1s\nBenchmarkB-4 10 5.0 ns/op\n"
+	if _, err := parseBench(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-stream FAIL accepted")
+	}
+	// --- lines from -benchtime warnings and arbitrary noise are skipped.
+	in = "noise\nBenchmarkA-4 10 5.0 ns/op\nPASS\n"
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil || len(rep.Benchmarks) != 1 {
+		t.Fatalf("noisy transcript: %+v, %v", rep, err)
+	}
+}
+
+// TestParseBenchCountDuplicates: -count=N duplicate rows must all survive
+// (compare derives its noise band from them).
+func TestParseBenchCountDuplicates(t *testing.T) {
+	in := "pkg: p\nBenchmarkA-4 10 5.0 ns/op\nBenchmarkA-4 11 5.5 ns/op\nBenchmarkA-4 12 4.5 ns/op\n"
+	rep, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("duplicates collapsed: %+v", rep.Benchmarks)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Key() != "p.A" {
+			t.Fatalf("key = %q", b.Key())
+		}
+	}
+}
+
 func TestRunStdoutAndErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader(transcript), &out); err != nil {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/provenance"
+)
+
+// Report is the JSON document ccbench emits. Convert mode fills only the
+// transcript-derived fields; record mode stamps UnixMS and Provenance so a
+// history line is self-describing months later.
+type Report struct {
+	// UnixMS is when the report was recorded (record mode only).
+	UnixMS int64 `json:"unix_ms,omitempty"`
+	// Note is a free-text label (-note), e.g. a PR number or "baseline".
+	Note string `json:"note,omitempty"`
+	// Provenance identifies the binary/platform that produced the numbers
+	// (record mode only).
+	Provenance *provenance.Stamp `json:"provenance,omitempty"`
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark is one result line. With -count=N the same name appears N
+// times — compare and trend reduce the duplicates with medians, so the
+// rows must survive into the report (and history) unmerged.
+type Benchmark struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Key identifies a benchmark series across reports.
+func (b Benchmark) Key() string {
+	if b.Pkg == "" {
+		return b.Name
+	}
+	return b.Pkg + "." + b.Name
+}
+
+// parseBench scans a `go test -bench` transcript: platform headers
+// (goos/goarch/pkg/cpu), benchmark result lines, and the trailing ok/FAIL
+// package lines. Unrecognized lines are skipped, FAIL is an error.
+func parseBench(r io.Reader) (Report, error) {
+	var rep Report
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "FAIL"):
+			return rep, fmt.Errorf("benchmark transcript contains a failure: %s", line)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return rep, err
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkScheduleFire-8  24941218  48.0 ns/op  0 B/op  0 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. The trailing
+// "-N" is the GOMAXPROCS suffix go test appends (the go convention: split
+// on the LAST dash, like x/perf). Sub-benchmark names with `/` and `-`
+// segments survive because only the final dash-number is eaten — which is
+// ambiguous by construction for a name genuinely ending in "-<digits>"
+// run at GOMAXPROCS=1 (no suffix appended); there is no fix that doesn't
+// break the common case, so we follow the convention and pin the behavior
+// in tests. A name that is nothing but the suffix ("Benchmark-8") keeps
+// its dash-number as the name.
+func parseLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	b := Benchmark{Metrics: make(map[string]float64)}
+	b.Name = strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil && procs > 0 {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b.Iterations = iters
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value %q in %q: %w", f[i], line, err)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}
+
+// writeReport emits rep as indented JSON to path, or to stdout when path
+// is empty.
+func writeReport(rep Report, path string, stdout io.Writer) error {
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if path == "" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(path, enc, 0o644)
+}
+
+// loadReport reads one report JSON file (a convert/record -o artifact).
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

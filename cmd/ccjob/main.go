@@ -53,16 +53,18 @@ func run(args []string, stdout io.Writer) error {
 		reps        = fs.Int("reps", 10, "independent replications")
 		seed        = fs.Uint64("seed", 1, "root random seed")
 
-		manifestDir = fs.String("manifest", "", "plan the forecast into this run directory and exit without simulating")
-		blockSize   = fs.Int("block-size", 1, "replications per claimable block when planning with -manifest")
-		workerDir   = fs.String("worker", "", "claim and execute blocks from this run directory until the forecast completes")
-		workerName  = fs.String("worker-name", "", "worker identity recorded in leases and journals (default <host>-<pid>)")
-		leaseTTL    = fs.Duration("lease-ttl", 10*time.Minute, "block lease time-to-live; a crashed worker's blocks are reclaimed after this long")
-		resumeDir   = fs.String("resume", "", "repair this run directory after a crash and exit")
-		statusDir   = fs.String("status", "", "print this run directory's progress and exit")
-		reduceDir   = fs.String("reduce", "", "merge this run directory's block journals and print the forecast")
-		jsonOut     = fs.Bool("json", false, "with -status: emit machine-readable JSON instead of the table")
-		hbEvery     = fs.Duration("heartbeat-every", time.Second, "worker telemetry snapshot cadence for heartbeats/<worker>.json; negative disables")
+		manifestDir  = fs.String("manifest", "", "plan the forecast into this run directory and exit without simulating")
+		blockSize    = fs.Int("block-size", 1, "replications per claimable block when planning with -manifest")
+		workerDir    = fs.String("worker", "", "claim and execute blocks from this run directory until the forecast completes")
+		workerName   = fs.String("worker-name", "", "worker identity recorded in leases and journals (default <host>-<pid>)")
+		leaseTTL     = fs.Duration("lease-ttl", 10*time.Minute, "block lease time-to-live; a crashed worker's blocks are reclaimed after this long")
+		resumeDir    = fs.String("resume", "", "repair this run directory after a crash and exit")
+		statusDir    = fs.String("status", "", "print this run directory's progress and exit")
+		reduceDir    = fs.String("reduce", "", "merge this run directory's block journals and print the forecast")
+		jsonOut      = fs.Bool("json", false, "with -status: emit machine-readable JSON instead of the table")
+		hbEvery      = fs.Duration("heartbeat-every", time.Second, "worker telemetry snapshot cadence for heartbeats/<worker>.json; negative disables")
+		profileDir   = fs.String("profile-dir", "", "with -worker: where profile captures land (default <run>/profiles; 'off' disables)")
+		profileEvery = fs.Duration("profile-every", 0, "with -worker: also capture profiles at this interval (0 = straggler auto-trigger only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +72,11 @@ func run(args []string, stdout io.Writer) error {
 
 	switch {
 	case *workerDir != "":
+		log := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ccjob: worker: "+format+"\n", args...)
+		}
+		profiler, stopProfiler := blocks.NewWorkerProfiler(*workerDir, *workerName, *profileDir, *profileEvery, log)
+		defer stopProfiler()
 		sum, err := blocks.Work(context.Background(), *workerDir, completionRunner(), blocks.WorkerOptions{
 			Name:     *workerName,
 			LeaseTTL: *leaseTTL,
@@ -77,10 +84,9 @@ func run(args []string, stdout io.Writer) error {
 			// fleet view block counters even for completion workers.
 			Metrics:       obs.NewRegistry(),
 			Heartbeat:     *hbEvery,
+			Profiler:      profiler,
 			HandleSignals: true,
-			Log: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "ccjob: worker: "+format+"\n", args...)
-			},
+			Log:           log,
 		})
 		if err != nil {
 			return err

@@ -15,6 +15,8 @@ import (
 
 	"repro"
 	"repro/internal/configio"
+	"repro/internal/obs"
+	"repro/internal/provenance"
 	"repro/internal/scenario"
 )
 
@@ -54,6 +56,8 @@ func run(args []string) error {
 		metrics       = fs.Bool("metrics", false, "print the collected telemetry table after the results")
 		verifySpans   = fs.Bool("verify-spans", false, "cross-check the reward-based estimate against phase-span accounting and print the verdict")
 		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the run (e.g. localhost:6060)")
+		profileDir    = fs.String("profile-dir", "", "capture CPU/heap/goroutine profiles into this directory during the run")
+		profileEvery  = fs.Duration("profile-every", 0, "re-capture profiles at this interval (0 = one capture at start; needs -profile-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -178,6 +182,46 @@ func run(args []string) error {
 		}
 		journalFile = f
 		opts.Journal = repro.NewRunJournal(f)
+		// Lead the journal with a provenance record: which binary, on
+		// which machine, simulated which configuration.
+		stamp := repro.CollectProvenance()
+		if hash, err := provenance.HashJSON(cfg); err == nil {
+			stamp = stamp.WithConfig(hash)
+		}
+		opts.Provenance = &stamp
+	}
+	var profiler *obs.ProfileCapture
+	if *profileDir != "" {
+		stamp := repro.CollectProvenance()
+		if hash, err := provenance.HashJSON(cfg); err == nil {
+			stamp = stamp.WithConfig(hash)
+		}
+		profiler = obs.NewProfileCapture(obs.ProfileCaptureOptions{
+			Dir:    *profileDir,
+			Prefix: "ccsim",
+			Meta:   stamp,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "ccsim: "+format+"\n", args...)
+			},
+		})
+		profiler.Trigger("start")
+		if *profileEvery > 0 {
+			tick := time.NewTicker(*profileEvery)
+			defer tick.Stop()
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				for {
+					select {
+					case <-tick.C:
+						profiler.Trigger("periodic")
+					case <-done:
+						return
+					}
+				}
+			}()
+		}
+		defer profiler.Wait()
 	}
 	res, err := repro.Simulate(cfg, opts)
 	if journalFile != nil {

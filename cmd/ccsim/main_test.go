@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 func TestRunDefaultsQuick(t *testing.T) {
@@ -122,17 +125,56 @@ func TestRunJournalMetricsAndDebugAddr(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-	if len(lines) != 3 { // 2 replications + 1 estimate
-		t.Fatalf("journal has %d lines, want 3:\n%s", len(lines), data)
+	if len(lines) != 4 { // 1 provenance + 2 replications + 1 estimate
+		t.Fatalf("journal has %d lines, want 4:\n%s", len(lines), data)
 	}
 	var rec map[string]any
 	for i, l := range lines {
 		if err := json.Unmarshal([]byte(l), &rec); err != nil {
 			t.Fatalf("line %d not JSON: %v", i, err)
 		}
+		if i == 0 {
+			if rec["kind"] != "provenance" || rec["config_hash"] == nil || rec["go_version"] == nil {
+				t.Fatalf("leading record is not a provenance stamp: %s", l)
+			}
+		}
 	}
 	if rec["kind"] != "estimate" {
 		t.Fatalf("last record kind = %v", rec["kind"])
+	}
+}
+
+// TestRunProfileDir: -profile-dir commits a parseable capture (manifest +
+// pprof files) during the run.
+func TestRunProfileDir(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-reps", "1", "-warmup", "10", "-measure", "50", "-procs", "8192",
+		"-profile-dir", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := obs.ReadProfiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Reason != "start" || infos[0].Prefix != "ccsim" {
+		t.Fatalf("profiles = %+v", infos)
+	}
+	var hasHeap bool
+	for _, f := range infos[0].Files {
+		if strings.HasSuffix(f, "-heap.pprof") {
+			hasHeap = true
+		}
+	}
+	if !hasHeap {
+		t.Fatalf("capture files = %v", infos[0].Files)
+	}
+	// The manifest meta is a provenance stamp carrying the config hash.
+	var stamp provenance.Stamp
+	if err := json.Unmarshal(infos[0].Meta, &stamp); err != nil || stamp.ConfigHash == "" {
+		t.Fatalf("capture meta = %s (err %v)", infos[0].Meta, err)
 	}
 }
 

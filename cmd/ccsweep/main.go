@@ -80,18 +80,20 @@ func run(args []string) error {
 		metrics       = fs.Bool("metrics", false, "print the collected telemetry table to stderr after the sweep")
 		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the sweep")
 
-		manifestDir = fs.String("manifest", "", "plan the sweep into this run directory (manifest + leases/ + journals/) and exit without simulating")
-		blockSize   = fs.Int("block-size", 1, "replications per claimable block when planning with -manifest")
-		workerDir   = fs.String("worker", "", "claim and execute blocks from this run directory until the sweep completes")
-		workerName  = fs.String("worker-name", "", "worker identity recorded in leases and journals (default <host>-<pid>)")
-		leaseTTL    = fs.Duration("lease-ttl", 10*time.Minute, "block lease time-to-live; a crashed worker's blocks are reclaimed after this long")
-		resumeDir   = fs.String("resume", "", "repair this run directory after a crash (drop torn journals, clear expired leases) and exit")
-		statusDir   = fs.String("status", "", "print this run directory's progress and exit")
-		reduceDir   = fs.String("reduce", "", "merge this run directory's block journals and print the sweep table")
-		jsonOut     = fs.Bool("json", false, "with -status: emit machine-readable JSON instead of the table")
-		fleetDir    = fs.String("fleet", "", "print this run directory's fleet view (worker heartbeats fused with block status) as JSON and exit")
-		timelineDir = fs.String("timeline", "", "write this run directory's span timeline as Chrome trace-event JSON to stdout (load in Perfetto)")
-		hbEvery     = fs.Duration("heartbeat-every", time.Second, "worker telemetry snapshot cadence for heartbeats/<worker>.json; negative disables")
+		manifestDir  = fs.String("manifest", "", "plan the sweep into this run directory (manifest + leases/ + journals/) and exit without simulating")
+		blockSize    = fs.Int("block-size", 1, "replications per claimable block when planning with -manifest")
+		workerDir    = fs.String("worker", "", "claim and execute blocks from this run directory until the sweep completes")
+		workerName   = fs.String("worker-name", "", "worker identity recorded in leases and journals (default <host>-<pid>)")
+		leaseTTL     = fs.Duration("lease-ttl", 10*time.Minute, "block lease time-to-live; a crashed worker's blocks are reclaimed after this long")
+		resumeDir    = fs.String("resume", "", "repair this run directory after a crash (drop torn journals, clear expired leases) and exit")
+		statusDir    = fs.String("status", "", "print this run directory's progress and exit")
+		reduceDir    = fs.String("reduce", "", "merge this run directory's block journals and print the sweep table")
+		jsonOut      = fs.Bool("json", false, "with -status: emit machine-readable JSON instead of the table")
+		fleetDir     = fs.String("fleet", "", "print this run directory's fleet view (worker heartbeats fused with block status) as JSON and exit")
+		timelineDir  = fs.String("timeline", "", "write this run directory's span timeline as Chrome trace-event JSON to stdout (load in Perfetto)")
+		hbEvery      = fs.Duration("heartbeat-every", time.Second, "worker telemetry snapshot cadence for heartbeats/<worker>.json; negative disables")
+		profileDir   = fs.String("profile-dir", "", "with -worker: where profile captures land (default <run>/profiles; 'off' disables)")
+		profileEvery = fs.Duration("profile-every", 0, "with -worker: also capture profiles at this interval (0 = straggler auto-trigger only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +122,7 @@ func run(args []string) error {
 	// Run-directory verbs need no sweep definition — the manifest carries it.
 	switch {
 	case *workerDir != "":
-		return workCmd(*workerDir, *workers, *workerName, *leaseTTL, *hbEvery, reg, *metrics)
+		return workCmd(*workerDir, *workers, *workerName, *leaseTTL, *hbEvery, reg, *metrics, *profileDir, *profileEvery)
 	case *resumeDir != "":
 		return resumeCmd(*resumeDir, os.Stdout)
 	case *statusDir != "":
@@ -292,24 +294,28 @@ func run(args []string) error {
 }
 
 // workCmd runs one worker process against a shared run directory.
-func workCmd(dir string, workers int, name string, ttl, hbEvery time.Duration, reg *repro.MetricsRegistry, printMetrics bool) error {
+func workCmd(dir string, workers int, name string, ttl, hbEvery time.Duration, reg *repro.MetricsRegistry, printMetrics bool, profileDir string, profileEvery time.Duration) error {
 	if reg == nil {
 		// Workers always collect block telemetry; it feeds -status wall
 		// stats (via trailers), the heartbeat snapshots, and, with
 		// -debug-addr, live dashboards.
 		reg = repro.NewMetricsRegistry()
 	}
+	log := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ccsweep: worker: "+format+"\n", args...)
+	}
+	profiler, stopPeriodic := blocks.NewWorkerProfiler(dir, name, profileDir, profileEvery, log)
+	defer stopPeriodic()
 	sum, err := blocks.Work(context.Background(), dir, runner.BlockRunner(workers, reg), blocks.WorkerOptions{
 		Name:      name,
 		LeaseTTL:  ttl,
 		Metrics:   reg,
 		Heartbeat: hbEvery,
+		Profiler:  profiler,
 		// SIGTERM/SIGINT flush a final heartbeat naming the signal, so an
 		// orderly kill leaves its reason in the run directory.
 		HandleSignals: true,
-		Log: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "ccsweep: worker: "+format+"\n", args...)
-		},
+		Log:           log,
 	})
 	if err != nil {
 		return err

@@ -74,10 +74,13 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
+			// Captured profiles are part of the fleet story: a straggler row
+			// usually has a matching capture explaining it.
+			profiles, _ := obs.ReadProfiles(blocks.ProfileDir(*runDir))
 			if !*plain {
 				fmt.Fprint(stdout, "\033[H\033[2J")
 			}
-			fmt.Fprint(stdout, renderFleet(*runDir, m, st, fl, *width))
+			fmt.Fprint(stdout, renderFleet(*runDir, m, st, fl, profiles, now, *width))
 			if st.Done() && fl.Alive+fl.Stale == 0 {
 				break // sweep over, no one left to watch
 			}
@@ -182,7 +185,7 @@ func render(s obs.Snapshot, hist *history, addr string, width int) string {
 // renderFleet draws one fleet-dashboard frame for a run directory. Like
 // render it is a pure function of its inputs, so tests can pin the layout
 // without a live sweep.
-func renderFleet(dir string, m *blocks.Manifest, st blocks.Status, fl blocks.Fleet, width int) string {
+func renderFleet(dir string, m *blocks.Manifest, st blocks.Status, fl blocks.Fleet, profiles []obs.ProfileInfo, now time.Time, width int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cctop — %s  sweep %s (%s, %d cells)\n\n", dir, m.Name, m.Kind, len(m.Cells))
 
@@ -228,6 +231,15 @@ func renderFleet(dir string, m *blocks.Manifest, st blocks.Status, fl blocks.Fle
 	if fl.MetricsErr != "" {
 		fmt.Fprintf(&sb, "warning  metrics merge failed: %s\n", fl.MetricsErr)
 	}
+	if fl.ProvenanceMismatch {
+		var bins []string
+		for id, n := range fl.Binaries {
+			bins = append(bins, fmt.Sprintf("%s ×%d", id, n))
+		}
+		sort.Strings(bins)
+		fmt.Fprintf(&sb, "warning  MIXED BINARIES in one run directory: %s — results must not be merged silently\n",
+			strings.Join(bins, ", "))
+	}
 
 	if len(fl.Workers) > 0 {
 		fmt.Fprintf(&sb, "\n%-24s %-7s %7s %7s %6s %12s  %s\n",
@@ -247,6 +259,16 @@ func renderFleet(dir string, m *blocks.Manifest, st blocks.Status, fl blocks.Fle
 			case fw.Straggler:
 				note = "straggler (below half the fleet median rate)"
 			}
+			if fw.ProvenanceOutlier {
+				outlier := "DIFFERENT BINARY"
+				if p := fw.Provenance; p != nil {
+					outlier = "DIFFERENT BINARY " + p.BinaryID()
+				}
+				if note != "" {
+					note += " · "
+				}
+				note += outlier
+			}
 			fmt.Fprintf(&sb, "%-24s %-7s %7s %7s %6d %12s  %s\n",
 				fw.Worker, string(fw.Health), age, block, fw.Completed,
 				groupDigits(uint64(fw.EventsPerSec)), note)
@@ -259,7 +281,36 @@ func renderFleet(dir string, m *blocks.Manifest, st blocks.Status, fl blocks.Fle
 		fmt.Fprintf(&sb, "journal  %-24s %4d blocks  %12s events\n",
 			ws.Worker, ws.Completed, groupDigits(ws.Events))
 	}
+
+	// Captured profiles, newest-last per worker: the in-run postmortems
+	// obs.ProfileCapture committed into <run>/profiles.
+	if len(profiles) > 0 {
+		fmt.Fprintf(&sb, "\nprofiles (%d captured in %s)\n", len(profiles), blocks.ProfileDir(dir))
+		for _, p := range profiles {
+			age := now.Sub(time.UnixMilli(p.UnixMS)).Round(time.Second)
+			fmt.Fprintf(&sb, "  %-24s #%03d %8s ago  %-9s %s\n",
+				p.Prefix, p.Seq, age, fileKinds(p.Files), p.Reason)
+		}
+	}
 	return sb.String()
+}
+
+// fileKinds compresses a capture's file list to its kinds ("cpu+heap+grt").
+func fileKinds(files []string) string {
+	var kinds []string
+	for _, f := range files {
+		switch {
+		case strings.HasSuffix(f, "-cpu.pprof"):
+			kinds = append(kinds, "cpu")
+		case strings.HasSuffix(f, "-heap.pprof"):
+			kinds = append(kinds, "heap")
+		case strings.HasSuffix(f, "-goroutine.pprof"):
+			kinds = append(kinds, "grt")
+		case strings.HasSuffix(f, "-trace.out"):
+			kinds = append(kinds, "trace")
+		}
+	}
+	return strings.Join(kinds, "+")
 }
 
 // lastFlight summarises a dead worker's final flight-recorder entries —

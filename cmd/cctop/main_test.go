@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/blocks"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 // liveRegistry builds a registry shaped like a real verify-spans run.
@@ -213,7 +214,8 @@ func TestRenderFleet(t *testing.T) {
 				Final: true, Reason: "done"}, Health: blocks.WorkerExited, AgeMS: 60000},
 		},
 	}
-	out := renderFleet("run/", m, st, fl, 16)
+	now := time.Now()
+	out := renderFleet("run/", m, st, fl, nil, now, 16)
 	for _, want := range []string{
 		"sweep procs (estimate, 2 cells)",
 		"4/8", "2 running", "1 torn",
@@ -229,9 +231,64 @@ func TestRenderFleet(t *testing.T) {
 			t.Fatalf("fleet frame missing %q:\n%s", want, out)
 		}
 	}
+	// A healthy single-binary fleet raises no provenance warning and, with
+	// no captures on disk, no profiles section.
+	for _, absent := range []string{"MIXED BINARIES", "DIFFERENT BINARY", "profiles ("} {
+		if strings.Contains(out, absent) {
+			t.Fatalf("fleet frame unexpectedly contains %q:\n%s", absent, out)
+		}
+	}
 	// A finished, empty fleet still renders.
-	done := renderFleet("run/", m, blocks.Status{Planned: 8, Complete: 8}, blocks.Fleet{ETAMS: 0}, 16)
+	done := renderFleet("run/", m, blocks.Status{Planned: 8, Complete: 8}, blocks.Fleet{ETAMS: 0}, nil, now, 16)
 	if !strings.Contains(done, "ready to -reduce") {
 		t.Fatalf("done frame:\n%s", done)
+	}
+}
+
+// TestRenderFleetProvenanceAndProfiles pins the sentinel additions to the
+// dashboard: the mixed-binary warning, the per-worker outlier note, and the
+// captured-profiles listing.
+func TestRenderFleetProvenanceAndProfiles(t *testing.T) {
+	mine := &provenance.Stamp{GitSHA: "aaaaaaaaaaaaaaaa", GoVersion: "go1.22.0"}
+	theirs := &provenance.Stamp{GitSHA: "bbbbbbbbbbbbbbbb", GoVersion: "go1.22.0"}
+	m := &blocks.Manifest{Name: "procs", Kind: blocks.KindEstimate,
+		Cells: []blocks.Cell{{}}, Hash: "sha256:deadbeef"}
+	fl := blocks.Fleet{
+		Alive:              2,
+		ProvenanceMismatch: true,
+		Binaries: map[string]int{
+			mine.BinaryID():   2,
+			theirs.BinaryID(): 1,
+		},
+		Workers: []blocks.FleetWorker{
+			{Heartbeat: blocks.Heartbeat{Worker: "host-1", CurrentBlock: 3,
+				Provenance: mine}, Health: blocks.WorkerAlive},
+			{Heartbeat: blocks.Heartbeat{Worker: "host-2", CurrentBlock: 4,
+				Provenance: theirs}, Health: blocks.WorkerAlive, ProvenanceOutlier: true},
+		},
+	}
+	now := time.UnixMilli(10_000)
+	profiles := []obs.ProfileInfo{
+		{Prefix: "host-2", Seq: 1, Reason: "straggler", UnixMS: 4_000,
+			Files: []string{"host-2-001-cpu.pprof", "host-2-001-heap.pprof", "host-2-001-goroutine.pprof"}},
+	}
+	out := renderFleet("run/", m, blocks.Status{Planned: 8, Complete: 2}, fl, profiles, now, 16)
+	for _, want := range []string{
+		"MIXED BINARIES",
+		mine.BinaryID() + " ×2",
+		theirs.BinaryID() + " ×1",
+		"DIFFERENT BINARY " + theirs.BinaryID(),
+		"profiles (1 captured in " + blocks.ProfileDir("run/") + ")",
+		"host-2", "#001", "6s ago", "cpu+heap+grt", "straggler",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet frame missing %q:\n%s", want, out)
+		}
+	}
+	// The in-majority worker carries no outlier note on its row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "host-1") && strings.Contains(line, "DIFFERENT BINARY") {
+			t.Fatalf("majority worker flagged as outlier:\n%s", out)
+		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/cluster"
+	"repro/internal/provenance"
 	"repro/internal/rng"
 )
 
@@ -107,6 +108,12 @@ type Manifest struct {
 	// the run's content address, stamped into every lease and block
 	// journal so mixed-up run directories fail loudly.
 	Hash string `json:"hash"`
+	// Provenance records who planned the run (binary commit, platform,
+	// host), stamped by CreateRun at write time. Like Hash it is excluded
+	// from the content hash: the same sweep planned from any commit still
+	// hashes identically, so re-planning after a rebuild stays a no-op —
+	// the stamp is an observation about the plan, not part of it.
+	Provenance *provenance.Stamp `json:"provenance,omitempty"`
 }
 
 // PlanOptions parameterises Plan.
@@ -200,10 +207,12 @@ func Plan(cells []Cell, o PlanOptions) (*Manifest, error) {
 }
 
 // computeHash content-addresses the manifest: sha256 over its canonical
-// JSON encoding with the Hash field blanked.
+// JSON encoding with the Hash and Provenance fields blanked (both are
+// about the plan, not of it).
 func (m *Manifest) computeHash() string {
 	clean := *m
 	clean.Hash = ""
+	clean.Provenance = nil
 	data, err := json.Marshal(&clean)
 	if err != nil {
 		// Manifest fields are plain scalars and slices; marshal cannot
@@ -315,7 +324,13 @@ func CreateRun(dir string, m *Manifest) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	data, err := json.MarshalIndent(m, "", "  ")
+	// Stamp the planner's provenance at write time (hash-excluded): the
+	// run directory then records which commit, on which machine, planned
+	// the sweep its journals realise.
+	stamped := *m
+	stamp := provenance.Collect().WithConfig(m.Hash)
+	stamped.Provenance = &stamp
+	data, err := json.MarshalIndent(&stamped, "", "  ")
 	if err != nil {
 		return fmt.Errorf("blocks: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 // WorkerHealth classifies one worker from its heartbeat age.
@@ -33,6 +34,11 @@ type FleetWorker struct {
 	// Straggler marks an alive worker whose event rate has fallen below
 	// half the alive-fleet median.
 	Straggler bool `json:"straggler,omitempty"`
+	// ProvenanceOutlier marks a worker whose binary (commit+dirty+go
+	// version) differs from the fleet's most common one. Its observations
+	// are still on disk, but merging them with the majority's is comparing
+	// two different programs.
+	ProvenanceOutlier bool `json:"provenance_outlier,omitempty"`
 }
 
 // FleetOptions tunes staleness judgement. Zero values derive thresholds
@@ -70,6 +76,14 @@ type Fleet struct {
 	// MetricsErr records a merge refusal (e.g. mixed binaries with
 	// different bucket layouts) without poisoning the rest of the view.
 	MetricsErr string `json:"metrics_err,omitempty"`
+	// Binaries tallies distinct worker binaries by provenance.BinaryID
+	// ("<sha12>[+dirty]@<goversion>"); ProvenanceMismatch is set when more
+	// than one appears — two workers on different commits are sharing a
+	// run directory, and their results must not be compared as if they
+	// came from the same program. Host and CPU deliberately don't factor
+	// in: heterogeneous machines are a normal fleet.
+	Binaries           map[string]int `json:"binaries,omitempty"`
+	ProvenanceMismatch bool           `json:"provenance_mismatch,omitempty"`
 }
 
 // CollectFleet fuses the run directory's heartbeats with a Scan into one
@@ -127,6 +141,32 @@ func CollectFleet(dir string, now time.Time, o FleetOptions) (*Manifest, Status,
 			for i := range fl.Workers {
 				if fl.Workers[i].Health == WorkerAlive && fl.Workers[i].EventsPerSec < median/2 {
 					fl.Workers[i].Straggler = true
+				}
+			}
+		}
+	}
+	// Provenance: tally distinct binaries and flag the minority. Workers
+	// without a stamp (pre-provenance binaries) are left out of the vote
+	// rather than counted as yet another binary.
+	var stamps []*provenance.Stamp
+	for _, fw := range fl.Workers {
+		if fw.Provenance != nil {
+			stamps = append(stamps, fw.Provenance)
+		}
+	}
+	if bins := provenance.Binaries(stamps); len(bins) > 0 {
+		fl.Binaries = bins
+		if len(bins) > 1 {
+			fl.ProvenanceMismatch = true
+			majority, best := "", 0
+			for id, n := range bins {
+				if n > best || (n == best && id < majority) {
+					majority, best = id, n
+				}
+			}
+			for i := range fl.Workers {
+				if p := fl.Workers[i].Provenance; p != nil && p.BinaryID() != majority {
+					fl.Workers[i].ProvenanceOutlier = true
 				}
 			}
 		}

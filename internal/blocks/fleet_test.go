@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 func TestHeartbeatRoundTrip(t *testing.T) {
@@ -184,6 +185,110 @@ func TestCollectFleetMergesMetrics(t *testing.T) {
 	_ = st
 	if st.Complete != 0 {
 		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestCollectFleetProvenanceMismatch hand-writes heartbeats from two
+// different binaries plus one stampless (pre-provenance) worker and checks
+// the tally: both binaries counted, the mismatch flagged, and only the
+// minority worker marked an outlier. Stampless workers abstain from the
+// vote rather than counting as a third binary.
+func TestCollectFleetProvenanceMismatch(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 2)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	mk := func(sha string) *provenance.Stamp {
+		return &provenance.Stamp{GitSHA: sha, GoVersion: "go1.22", Goos: "linux", Goarch: "amd64"}
+	}
+	shaA := strings.Repeat("a", 40)
+	shaB := strings.Repeat("b", 40)
+	for _, hb := range []Heartbeat{
+		{Worker: "w1", IntervalMS: 1000, UnixMS: now.UnixMilli(), Provenance: mk(shaA)},
+		{Worker: "w2", IntervalMS: 1000, UnixMS: now.UnixMilli(), Provenance: mk(shaA)},
+		{Worker: "w3", IntervalMS: 1000, UnixMS: now.UnixMilli(), Provenance: mk(shaB)},
+		{Worker: "w4", IntervalMS: 1000, UnixMS: now.UnixMilli()},
+	} {
+		if err := WriteHeartbeat(dir, hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, fl, err := CollectFleet(dir, now, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fl.ProvenanceMismatch {
+		t.Fatalf("mismatch not flagged: binaries = %v", fl.Binaries)
+	}
+	if len(fl.Binaries) != 2 || fl.Binaries[mk(shaA).BinaryID()] != 2 || fl.Binaries[mk(shaB).BinaryID()] != 1 {
+		t.Fatalf("binaries = %v", fl.Binaries)
+	}
+	outlier := map[string]bool{}
+	for _, fw := range fl.Workers {
+		outlier[fw.Worker] = fw.ProvenanceOutlier
+	}
+	if !outlier["w3"] || outlier["w1"] || outlier["w2"] || outlier["w4"] {
+		t.Fatalf("outliers = %v, want only w3", outlier)
+	}
+
+	// A uniform fleet reports its one binary and no mismatch.
+	dir2 := t.TempDir()
+	if err := CreateRun(dir2, m); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"u1", "u2"} {
+		if err := WriteHeartbeat(dir2, Heartbeat{Worker: w, IntervalMS: 1000, UnixMS: now.UnixMilli(), Provenance: mk(shaA)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, fl2, err := CollectFleet(dir2, now, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl2.ProvenanceMismatch || len(fl2.Binaries) != 1 {
+		t.Fatalf("uniform fleet = mismatch %v binaries %v", fl2.ProvenanceMismatch, fl2.Binaries)
+	}
+}
+
+// TestWorkStampsProvenance checks that a real Work loop's heartbeat carries
+// a provenance stamp whose ConfigHash is the manifest hash it joined.
+func TestWorkStampsProvenance(t *testing.T) {
+	dir := t.TempDir()
+	m := testPlan(t, 2)
+	if err := CreateRun(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Work(context.Background(), dir, synthRun, WorkerOptions{Name: "pv-w"}); err != nil {
+		t.Fatal(err)
+	}
+	hbs, err := ReadHeartbeats(dir)
+	if err != nil || len(hbs) != 1 {
+		t.Fatalf("heartbeats = %+v, err %v", hbs, err)
+	}
+	p := hbs[0].Provenance
+	if p == nil {
+		t.Fatal("heartbeat has no provenance stamp")
+	}
+	if p.ConfigHash != m.Hash {
+		t.Fatalf("stamp config hash %q, want manifest hash %q", p.ConfigHash, m.Hash)
+	}
+	if p.GoVersion == "" || p.Goos == "" {
+		t.Fatalf("stamp incomplete: %+v", p)
+	}
+	// The stamped manifest on disk also identifies its creator, and the
+	// stamp stays outside the content hash: re-deriving the hash from the
+	// loaded manifest still matches.
+	loaded, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Provenance == nil || loaded.Provenance.GoVersion == "" {
+		t.Fatalf("manifest provenance = %+v", loaded.Provenance)
+	}
+	if loaded.Hash != m.Hash {
+		t.Fatalf("manifest hash changed by stamping: %q vs %q", loaded.Hash, m.Hash)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 // heartbeatDir holds one JSON snapshot per worker inside a run directory.
@@ -17,6 +18,14 @@ import (
 // directory — no network listener — committed via temp + rename so a
 // reader never sees a torn document.
 const heartbeatDir = "heartbeats"
+
+// profileDirName holds in-run profile captures (obs.ProfileCapture files)
+// inside a run directory, beside heartbeats/.
+const profileDirName = "profiles"
+
+// ProfileDir returns the run directory's profile-capture location — where
+// workers' straggler/periodic captures land and `cctop -run` looks.
+func ProfileDir(dir string) string { return filepath.Join(dir, profileDirName) }
 
 // HeartbeatPath returns the worker's heartbeat location. Worker names come
 // from hostnames, so path separators are flattened defensively.
@@ -63,6 +72,12 @@ type Heartbeat struct {
 	// from runner.events deltas when a metrics registry is attached, else
 	// from committed-block event deltas.
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Provenance identifies the worker's binary (commit, dirty flag, go
+	// version), platform and host, with ConfigHash carrying the manifest
+	// hash it joined. CollectFleet compares these across the fleet: two
+	// workers on different commits sharing a run directory are producing
+	// observations that must not be merged silently.
+	Provenance *provenance.Stamp `json:"provenance,omitempty"`
 	// Metrics is the worker's full registry snapshot.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 	// Flight is the recent-event ring, oldest first; FlightTotal counts

@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 // RunFunc executes one claimed block and returns its replication records.
@@ -52,6 +54,12 @@ type WorkerOptions struct {
 	// recorder). Default 1 s; negative disables. The writer runs on its
 	// own goroutine, never on the simulation path.
 	Heartbeat time.Duration
+	// Profiler, when non-nil, is armed automatically when the worker's
+	// event rate falls below half its own trailing median while a block
+	// is executing — a straggler's postmortem then arrives with the
+	// profile that explains it. The capture runs beside the heartbeat
+	// writer, never on the simulation path.
+	Profiler *obs.ProfileCapture
 	// HandleSignals, when set, flushes a final heartbeat and cancels the
 	// Work context on SIGTERM/SIGINT, so an orderly kill leaves a
 	// postmortem snapshot with its reason.
@@ -99,6 +107,58 @@ type Summary struct {
 	Events uint64
 }
 
+// NewWorkerProfiler arms the in-run profile capturer CLI workers hand to
+// WorkerOptions.Profiler. It is on by default — the straggler auto-trigger
+// inside the heartbeat writer costs nothing until it fires, and a profile
+// that explains a slow worker is exactly the artifact you cannot capture
+// after the fact — and disabled by profileDir "off". Captures land in
+// ProfileDir(runDir) unless profileDir overrides, named after the worker
+// (same default identity as WorkerOptions.Name) and stamped with the
+// process's provenance. A positive `every` adds periodic captures on top
+// of the auto-trigger. The returned stop func halts the ticker and waits
+// out any in-flight capture; call it before process exit so the last
+// capture is not torn.
+func NewWorkerProfiler(runDir, name, profileDir string, every time.Duration, log func(string, ...any)) (*obs.ProfileCapture, func()) {
+	if profileDir == "off" {
+		return nil, func() {}
+	}
+	if profileDir == "" {
+		profileDir = ProfileDir(runDir)
+	}
+	if name == "" {
+		name = WorkerOptions{}.withDefaults().Name
+	}
+	stamp := provenance.Collect()
+	profiler := obs.NewProfileCapture(obs.ProfileCaptureOptions{
+		Dir:    profileDir,
+		Prefix: name,
+		Meta:   stamp,
+		Log:    log,
+	})
+	done := make(chan struct{})
+	var tick *time.Ticker
+	if every > 0 {
+		tick = time.NewTicker(every)
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					profiler.Trigger("periodic")
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	return profiler, func() {
+		if tick != nil {
+			tick.Stop()
+		}
+		close(done)
+		profiler.Wait()
+	}
+}
+
 // Work claims and executes blocks from the run directory until every block
 // has a committed journal (or, with ExitWhenIdle, until a scan finds
 // nothing claimable). It is safe to run any number of Work loops — in one
@@ -113,7 +173,7 @@ func Work(ctx context.Context, dir string, run RunFunc, o WorkerOptions) (s Summ
 		return Summary{}, err
 	}
 	s = Summary{Worker: o.Name}
-	hb := newHeartbeater(dir, o)
+	hb := newHeartbeater(dir, o, m.Hash)
 	defer func() {
 		if r := recover(); r != nil {
 			hb.close(fmt.Sprintf("panic: %v", r))
@@ -313,6 +373,7 @@ type heartbeater struct {
 	fl    *obs.FlightRecorder
 	start time.Time
 	host  string
+	stamp provenance.Stamp
 
 	current   atomic.Int64 // block being executed, -1 when idle
 	completed atomic.Int64
@@ -324,12 +385,24 @@ type heartbeater struct {
 	lastEvents uint64
 	lastWrite  time.Time
 	finalDone  bool
+	rates      []float64 // trailing events/s samples for the straggler trigger
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-func newHeartbeater(dir string, o WorkerOptions) *heartbeater {
+// Straggler self-detection: after rateWarmup measured intervals, an
+// interval whose event rate falls below stragglerFraction of the trailing
+// median (the same half-the-median rule CollectFleet applies across a
+// fleet) arms the profiler. rateWindow bounds the trailing memory so a
+// long-running worker tracks its recent self, not its startup.
+const (
+	rateWindow        = 32
+	rateWarmup        = 6
+	stragglerFraction = 0.5
+)
+
+func newHeartbeater(dir string, o WorkerOptions, manifestHash string) *heartbeater {
 	if o.Heartbeat < 0 {
 		return nil
 	}
@@ -337,7 +410,8 @@ func newHeartbeater(dir string, o WorkerOptions) *heartbeater {
 	h := &heartbeater{
 		dir: dir, o: o, fl: obs.NewFlightRecorder(obs.DefaultFlightEvents),
 		start: time.Now(), host: host,
-		stop: make(chan struct{}), done: make(chan struct{}),
+		stamp: provenance.Collect().WithConfig(manifestHash),
+		stop:  make(chan struct{}), done: make(chan struct{}),
 	}
 	h.current.Store(-1)
 	h.fl.Record("start", -1, "worker "+o.Name)
@@ -408,6 +482,7 @@ func (h *heartbeater) write(final bool, reason string) {
 		Completed:       int(h.completed.Load()),
 		Reclaimed:       int(h.reclaimed.Load()),
 		SkippedComplete: int(h.skipped.Load()),
+		Provenance:      &h.stamp,
 		Flight:          h.fl.Events(),
 		FlightTotal:     h.fl.Total(),
 	}
@@ -422,16 +497,58 @@ func (h *heartbeater) write(final bool, reason string) {
 		}
 	}
 	hb.Events = cur
+	measured := false
 	if dt := now.Sub(h.lastWrite).Seconds(); !h.lastWrite.IsZero() && dt > 0 && cur >= h.lastEvents {
 		hb.EventsPerSec = float64(cur-h.lastEvents) / dt
+		measured = true
 	}
 	h.lastEvents = cur
 	h.lastWrite = now
+	if measured && !final {
+		h.checkStraggler(hb.EventsPerSec, hb.CurrentBlock)
+	}
 	if err := WriteHeartbeat(h.dir, hb); err != nil && h.o.Log != nil {
 		h.o.Log("heartbeat write failed: %v", err)
 	}
 	if final {
 		h.finalDone = true
+	}
+}
+
+// checkStraggler compares this interval's event rate against the trailing
+// median and arms the profiler on a collapse. Called under h.mu. Only
+// intervals spent executing a block count — an idle worker polling for
+// leases legitimately runs at zero events/s — and the comparison needs
+// rateWarmup prior samples so startup transients cannot trigger it. The
+// profiler itself debounces (one capture in flight, bounded budget), so a
+// sustained stall costs at most MaxCaptures captures.
+func (h *heartbeater) checkStraggler(rate float64, currentBlock int) {
+	if currentBlock < 0 {
+		h.rates = h.rates[:0] // idle gap: a stale band would misjudge the next block
+		return
+	}
+	defer func() {
+		h.rates = append(h.rates, rate)
+		if len(h.rates) > rateWindow {
+			h.rates = h.rates[len(h.rates)-rateWindow:]
+		}
+	}()
+	if h.o.Profiler == nil || len(h.rates) < rateWarmup {
+		return
+	}
+	sorted := append([]float64(nil), h.rates...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if median <= 0 || rate >= stragglerFraction*median {
+		return
+	}
+	reason := fmt.Sprintf("events_per_sec %.0f below trailing band (median %.0f over %d intervals)",
+		rate, median, len(h.rates))
+	if h.o.Profiler.Trigger(reason) {
+		h.fl.Record("profile", currentBlock, reason)
+		if h.o.Log != nil {
+			h.o.Log("straggler self-detected, profile armed: %s", reason)
+		}
 	}
 }
 

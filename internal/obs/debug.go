@@ -8,15 +8,19 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"repro/internal/provenance"
 )
 
 // DebugServer is the live profiling endpoint behind the CLIs' -debug-addr
 // flag: net/http/pprof under /debug/pprof/, expvar under /debug/vars, a
-// JSON dump of a metrics registry under /metricz, and the same registry in
+// JSON dump of a metrics registry under /metricz, the same registry in
 // Prometheus text exposition format under /metricz.prom (so standard
-// scrapers work against single runs and servers alike). It serves on its
-// own mux (nothing is registered on http.DefaultServeMux) so importing
-// this package never changes an embedding program's routes.
+// scrapers work against single runs and servers alike), and the process's
+// provenance stamp under /buildz — so "which commit is this long-running
+// worker actually on?" is one curl away. It serves on its own mux (nothing
+// is registered on http.DefaultServeMux) so importing this package never
+// changes an embedding program's routes.
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -56,13 +60,19 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		w.Header().Set("Content-Type", PromContentType)
 		_ = WriteProm(w, snap)
 	})
+	mux.HandleFunc("/buildz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(provenance.Collect())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "debug endpoints: /metricz /metricz.prom /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "debug endpoints: /metricz /metricz.prom /buildz /debug/vars /debug/pprof/")
 	})
 	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = d.srv.Serve(ln) }()

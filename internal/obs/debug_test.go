@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/provenance"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
@@ -116,6 +118,29 @@ func TestDebugServerPromEndpoint(t *testing.T) {
 	idxBody, _ := io.ReadAll(idx.Body)
 	if !strings.Contains(string(idxBody), "/metricz.prom") {
 		t.Fatalf("index does not advertise /metricz.prom: %s", idxBody)
+	}
+}
+
+func TestDebugServerBuildz(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/buildz", d.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("/buildz Content-Type %q", got)
+	}
+	var stamp provenance.Stamp
+	if err := json.NewDecoder(resp.Body).Decode(&stamp); err != nil {
+		t.Fatalf("/buildz not a provenance stamp: %v", err)
+	}
+	if stamp.GoVersion == "" || stamp.Goos == "" || stamp.Goarch == "" {
+		t.Fatalf("/buildz stamp incomplete: %+v", stamp)
 	}
 }
 

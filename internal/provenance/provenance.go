@@ -1,0 +1,208 @@
+// Package provenance identifies the observation conditions of a run: which
+// binary (git commit, dirty flag, go version), on which platform (GOOS,
+// GOARCH, CPU model, host), against which configuration (a content hash of
+// the active scenario/config). A Stamp travels with every artifact the
+// simulator emits — benchmark reports, run journals, sweep manifests,
+// worker heartbeats, the /buildz debug endpoint — so that longitudinal
+// comparisons ("did this PR erode the hot loop?", "are these two sweep
+// rows like-for-like?") can first check they are comparing comparable
+// things. Field-failure studies live or die on exactly this discipline:
+// operational data without provenance cannot be trusted across time.
+//
+// The package is a leaf: it imports only the standard library, so every
+// layer of the repository (obs, blocks, runner, the CLIs) can stamp
+// without cycles.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Stamp records where an observation came from. The zero value is a valid
+// "unknown provenance" stamp; Collect fills in everything the process can
+// know about itself.
+type Stamp struct {
+	// GitSHA is the VCS revision the binary was built from, via
+	// debug.ReadBuildInfo's vcs.revision setting. Empty when the binary
+	// was built without VCS stamping (go test binaries, go run).
+	GitSHA string `json:"git_sha,omitempty"`
+	// GitDirty reports uncommitted changes at build time (vcs.modified).
+	GitDirty bool `json:"git_dirty,omitempty"`
+	// GitTime is the commit timestamp (vcs.time), RFC3339.
+	GitTime string `json:"git_time,omitempty"`
+	// GoVersion is the toolchain that built the binary (runtime.Version).
+	GoVersion string `json:"go_version"`
+	// Goos and Goarch are the execution platform.
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	// CPU is the processor model name (from /proc/cpuinfo on Linux);
+	// empty when undetectable. Benchmark numbers are meaningless across
+	// CPU models, so trend tooling partitions on this.
+	CPU string `json:"cpu,omitempty"`
+	// Host is the machine's hostname.
+	Host string `json:"host,omitempty"`
+	// ConfigHash content-addresses the active scenario or configuration
+	// ("sha256:<hex>", see HashJSON), or carries a manifest hash — set by
+	// the caller via WithConfig, since only the caller knows what it runs.
+	ConfigHash string `json:"config_hash,omitempty"`
+}
+
+var (
+	collectOnce sync.Once
+	collected   Stamp
+)
+
+// Collect returns the process's own stamp. Everything except ConfigHash is
+// process-constant, so the work (build-info walk, /proc/cpuinfo read) runs
+// once and later calls return the cached copy.
+func Collect() Stamp {
+	collectOnce.Do(func() {
+		collected = Stamp{
+			GoVersion: runtime.Version(),
+			Goos:      runtime.GOOS,
+			Goarch:    runtime.GOARCH,
+			CPU:       cpuModel(),
+		}
+		collected.Host, _ = os.Hostname()
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					collected.GitSHA = s.Value
+				case "vcs.modified":
+					collected.GitDirty = s.Value == "true"
+				case "vcs.time":
+					collected.GitTime = s.Value
+				}
+			}
+		}
+	})
+	return collected
+}
+
+// WithConfig returns a copy of the stamp carrying the given config hash.
+func (s Stamp) WithConfig(hash string) Stamp {
+	s.ConfigHash = hash
+	return s
+}
+
+// BinaryID condenses the fields that identify the *code* being run — git
+// revision, dirty flag and toolchain — into one comparable string. Two
+// workers with different BinaryIDs sharing a run directory are producing
+// observations that must not be merged silently; host and CPU are
+// deliberately excluded because a fleet legitimately spans machines.
+func (s Stamp) BinaryID() string {
+	rev := s.GitSHA
+	if rev == "" {
+		rev = "unversioned"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if s.GitDirty {
+		rev += "+dirty"
+	}
+	return rev + "@" + s.GoVersion
+}
+
+// String renders the stamp for humans: "abc123def456 go1.22 linux/amd64 @ host".
+func (s Stamp) String() string {
+	var sb strings.Builder
+	rev := s.GitSHA
+	if rev == "" {
+		rev = "unversioned"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	sb.WriteString(rev)
+	if s.GitDirty {
+		sb.WriteString("+dirty")
+	}
+	fmt.Fprintf(&sb, " %s %s/%s", s.GoVersion, s.Goos, s.Goarch)
+	if s.Host != "" {
+		sb.WriteString(" @ " + s.Host)
+	}
+	return sb.String()
+}
+
+// Fields flattens the stamp into journal fields (omitting empties), for
+// embedding in an obs.Journal record.
+func (s Stamp) Fields() map[string]any {
+	f := map[string]any{
+		"go_version": s.GoVersion,
+		"goos":       s.Goos,
+		"goarch":     s.Goarch,
+	}
+	if s.GitSHA != "" {
+		f["git_sha"] = s.GitSHA
+	}
+	if s.GitDirty {
+		f["git_dirty"] = true
+	}
+	if s.GitTime != "" {
+		f["git_time"] = s.GitTime
+	}
+	if s.CPU != "" {
+		f["cpu"] = s.CPU
+	}
+	if s.Host != "" {
+		f["host"] = s.Host
+	}
+	if s.ConfigHash != "" {
+		f["config_hash"] = s.ConfigHash
+	}
+	return f
+}
+
+// HashJSON content-addresses any JSON-marshalable value as
+// "sha256:<hex>". encoding/json emits struct fields in declaration order
+// and map keys sorted, so the hash is deterministic for a given value.
+func HashJSON(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("provenance: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// Binaries tallies a fleet's distinct BinaryIDs. More than one entry means
+// mixed binaries share a run directory — the mismatch CollectFleet flags.
+func Binaries(stamps []*Stamp) map[string]int {
+	out := make(map[string]int)
+	for _, s := range stamps {
+		if s == nil {
+			continue
+		}
+		out[s.BinaryID()]++
+	}
+	return out
+}
+
+// cpuModel reads the processor model name. Linux keeps it in /proc/cpuinfo
+// ("model name : ..." on x86, "Processor"/"CPU part" elsewhere); other
+// platforms return "" rather than guessing.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		switch strings.TrimSpace(key) {
+		case "model name", "Processor", "cpu model":
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,120 @@
+package provenance
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCollectIsStableAndFilled(t *testing.T) {
+	a, b := Collect(), Collect()
+	if a != b {
+		t.Fatalf("Collect not stable: %+v vs %+v", a, b)
+	}
+	if a.GoVersion == "" || a.Goos == "" || a.Goarch == "" {
+		t.Fatalf("Collect left platform fields empty: %+v", a)
+	}
+	// ConfigHash is caller-supplied, never collected.
+	if a.ConfigHash != "" {
+		t.Fatalf("Collect invented a config hash: %q", a.ConfigHash)
+	}
+}
+
+func TestWithConfigDoesNotMutate(t *testing.T) {
+	base := Collect()
+	stamped := base.WithConfig("sha256:abc")
+	if stamped.ConfigHash != "sha256:abc" {
+		t.Fatalf("WithConfig = %q", stamped.ConfigHash)
+	}
+	if Collect().ConfigHash != "" {
+		t.Fatal("WithConfig mutated the cached stamp")
+	}
+}
+
+func TestBinaryID(t *testing.T) {
+	cases := []struct {
+		s    Stamp
+		want string
+	}{
+		{Stamp{GoVersion: "go1.22.0"}, "unversioned@go1.22.0"},
+		{Stamp{GitSHA: "0123456789abcdef0123", GoVersion: "go1.22.0"}, "0123456789ab@go1.22.0"},
+		{Stamp{GitSHA: "0123456789abcdef0123", GitDirty: true, GoVersion: "go1.22.0"}, "0123456789ab+dirty@go1.22.0"},
+		{Stamp{GitSHA: "abc", GoVersion: "go1.22.0"}, "abc@go1.22.0"},
+	}
+	for _, c := range cases {
+		if got := c.s.BinaryID(); got != c.want {
+			t.Errorf("BinaryID(%+v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+	// Host and CPU must not influence binary identity: a fleet spans machines.
+	a := Stamp{GitSHA: "abc", GoVersion: "go1.22.0", Host: "node1", CPU: "EPYC"}
+	b := Stamp{GitSHA: "abc", GoVersion: "go1.22.0", Host: "node2", CPU: "Xeon"}
+	if a.BinaryID() != b.BinaryID() {
+		t.Fatal("BinaryID depends on host/CPU")
+	}
+}
+
+func TestHashJSONDeterministicAndSensitive(t *testing.T) {
+	type cfg struct {
+		Procs    int
+		Interval float64
+	}
+	h1, err := HashJSON(cfg{65536, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := HashJSON(cfg{65536, 0.5})
+	h3, _ := HashJSON(cfg{65536, 0.25})
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if h1 == h3 {
+		t.Fatal("hash insensitive to config change")
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Fatalf("hash format: %q", h1)
+	}
+}
+
+func TestFieldsOmitEmpties(t *testing.T) {
+	f := Stamp{GoVersion: "go1.22.0", Goos: "linux", Goarch: "amd64"}.Fields()
+	for _, key := range []string{"git_sha", "git_dirty", "cpu", "host", "config_hash"} {
+		if _, ok := f[key]; ok {
+			t.Errorf("empty field %q emitted", key)
+		}
+	}
+	full := Stamp{
+		GitSHA: "abc", GitDirty: true, GitTime: "2026-01-01T00:00:00Z",
+		GoVersion: "go1.22.0", Goos: "linux", Goarch: "amd64",
+		CPU: "EPYC", Host: "h", ConfigHash: "sha256:x",
+	}.Fields()
+	if len(full) != 9 {
+		t.Fatalf("full stamp emitted %d fields: %v", len(full), full)
+	}
+	if _, err := json.Marshal(full); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaries(t *testing.T) {
+	a := &Stamp{GitSHA: "aaa", GoVersion: "go1.22.0"}
+	b := &Stamp{GitSHA: "bbb", GoVersion: "go1.22.0"}
+	got := Binaries([]*Stamp{a, a, b, nil})
+	if len(got) != 2 || got[a.BinaryID()] != 2 || got[b.BinaryID()] != 1 {
+		t.Fatalf("Binaries = %v", got)
+	}
+	if len(Binaries(nil)) != 0 {
+		t.Fatal("empty fleet not empty")
+	}
+}
+
+func TestStringRendersRevision(t *testing.T) {
+	s := Stamp{GitSHA: "0123456789abcdef", GitDirty: true, GoVersion: "go1.22.0",
+		Goos: "linux", Goarch: "amd64", Host: "node9"}
+	got := s.String()
+	for _, want := range []string{"0123456789ab", "+dirty", "go1.22.0", "linux/amd64", "node9"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q lacks %q", got, want)
+		}
+	}
+}

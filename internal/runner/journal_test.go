@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 // journalLines decodes a JSONL buffer into one map per record, dropping
@@ -129,6 +130,39 @@ func TestJournalContent(t *testing.T) {
 	if !ok || len(conv) != n-1 {
 		t.Fatalf("convergence trajectory = %v, want %d entries", est["convergence"], n-1)
 	}
+}
+
+// TestJournalProvenanceRecord: when a stamp is attached it leads the
+// journal, before any replication record, with its fields flattened; when
+// absent (the default, and the block-sweep contract) no such record exists.
+func TestJournalProvenanceRecord(t *testing.T) {
+	var buf bytes.Buffer
+	opts := quickOpts()
+	opts.Journal = obs.NewJournal(&buf)
+	stamp := provenance.Collect().WithConfig("sha256:deadbeef")
+	opts.Provenance = &stamp
+	if _, err := Estimate(cluster.Default(), opts); err != nil {
+		t.Fatal(err)
+	}
+	recs := journalLines(t, &buf)
+	if len(recs) != opts.Replications+2 {
+		t.Fatalf("got %d records, want %d", len(recs), opts.Replications+2)
+	}
+	lead := recs[0]
+	if lead["kind"] != "provenance" {
+		t.Fatalf("leading record kind = %v", lead["kind"])
+	}
+	if lead["config_hash"] != "sha256:deadbeef" {
+		t.Fatalf("provenance config_hash = %v", lead["config_hash"])
+	}
+	if lead["go_version"] == "" || lead["go_version"] == nil {
+		t.Fatalf("provenance record incomplete: %v", lead)
+	}
+	if recs[1]["kind"] != "replication" {
+		t.Fatalf("second record kind = %v", recs[1]["kind"])
+	}
+	// Default journals (runJournaled) carry no provenance record — pinned
+	// by TestJournalContent's exact record count above.
 }
 
 // TestEstimateMetricsRegistry checks that an attached registry accumulates

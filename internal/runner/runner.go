@@ -18,6 +18,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/phasetrace"
+	"repro/internal/provenance"
 	"repro/internal/stats"
 )
 
@@ -71,6 +72,14 @@ type Options struct {
 	// (phase.hours.*) and the journal, and recording is purely
 	// observational: the trajectory is bit-identical with or without it.
 	VerifySpans bool
+	// Provenance, when non-nil, is written as a leading "provenance"
+	// record before any replication record, answering "which binary and
+	// config produced this journal?" months later. It is deliberately NOT
+	// part of the block-sweep journal contract: block and sweep journals
+	// must stay byte-identical across commits (the crash-resume identity
+	// tests compare them), so provenance there lives in the run manifest
+	// and heartbeats instead. Single-estimate CLIs (ccsim) set it.
+	Provenance *provenance.Stamp
 	// forceSim makes every replication snapshot its simulator telemetry
 	// even without a Journal. BlockRunner sets it: block workers carry no
 	// journal of their own but must hand back records carrying the same
@@ -315,6 +324,11 @@ func repFields(rep int, seed uint64, o repOut, opts Options) map[string]any {
 // through blocks.EstimateFields, across process counts.
 func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error {
 	j := opts.Journal
+	if opts.Provenance != nil {
+		if err := j.Record("provenance", opts.Provenance.Fields()); err != nil {
+			return err
+		}
+	}
 	var acc stats.Accumulator
 	var events uint64
 	for r, o := range outs {

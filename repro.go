@@ -32,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/protocol"
+	"repro/internal/provenance"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sensitivity"
@@ -137,6 +138,18 @@ func NewRunJournal(w io.Writer) *RunJournal { return obs.NewJournal(w) }
 // JournalTimestampFields names the journal fields that carry wall-clock
 // values and are therefore excluded from the determinism contract.
 var JournalTimestampFields = obs.TimestampFields
+
+// ProvenanceStamp identifies the binary, platform and configuration that
+// produced a result: git commit and dirty flag (from the build info the Go
+// toolchain embeds), go version, GOOS/GOARCH, CPU model, host, and a
+// content hash of the active configuration. Attach one via
+// Options.Provenance to lead a run journal with a "provenance" record;
+// the CLIs stamp their reports, run manifests and worker heartbeats with
+// it automatically.
+type ProvenanceStamp = provenance.Stamp
+
+// CollectProvenance gathers the current process's provenance stamp.
+func CollectProvenance() ProvenanceStamp { return provenance.Collect() }
 
 // ServeDebug starts an HTTP debug endpoint on addr exposing net/http/pprof
 // under /debug/pprof/, expvar under /debug/vars and a JSON snapshot of reg
