@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke bench-trend cover ci validate-scenarios sweep-resume-smoke obs-smoke provenance-smoke figures figures-paper report examples clean
+.PHONY: all build test vet race bench bench-smoke bench-trend cover ci validate-scenarios sweep-resume-smoke obs-smoke provenance-smoke vr-smoke figures figures-paper report examples clean
 
 all: build vet test
 
@@ -102,11 +102,27 @@ provenance-smoke:
 	$(GO) test -run 'TestCollectFleetProvenanceMismatch|TestWorkStampsProvenance' ./internal/blocks
 	$(GO) test -count=1 -run 'TestSentinelEndToEnd' ./cmd/ccbench
 
+# Variance-reduction gate (DESIGN.md §19): a seeded ~30-second paired-vs-
+# plain convergence comparison on the base scenario. The hard gate is the
+# engine's measured variance-reduction factor — the CRN pairing's CI
+# shrink (Var A + Var B)/Var(A−B) on a small design change — at 2×, plus
+# "antithetic must help, never hurt" (antithetic's theoretical ceiling on
+# exponential-noise steady-state estimates is 1/(π²/6−1) ≈ 2.8×, too close
+# to 2× to gate robustly on its own). The same measurement in benchmark
+# form is archived into BENCH_HISTORY.jsonl so the sentinel watches
+# statistical efficiency — replications_to_halfwidth, lower is better —
+# alongside events/s. Everything is seeded: a gate flip means the pairing
+# machinery changed, not an unlucky run.
+vr-smoke:
+	$(GO) test -count=1 -run 'TestVRSmokeGate' -v .
+	$(GO) test -run NONE -bench 'VRSmoke$$' -benchtime=1x . | $(GO) run ./cmd/ccbench record -history BENCH_HISTORY.jsonl -o BENCH_VR.json
+	$(GO) run ./cmd/ccbench compare -history BENCH_HISTORY.jsonl -metric replications_to_halfwidth -warn-only
+
 # Everything the GitHub Actions workflow runs (.github/workflows/ci.yml),
 # locally: the tier-1 suite, the race tier, the coverage profile, the
 # scenario-catalog gate, the sweep crash-resume gate, the fleet telemetry
-# gate, and the provenance/sentinel gate.
-ci: all race cover validate-scenarios sweep-resume-smoke obs-smoke provenance-smoke
+# gate, the provenance/sentinel gate, and the variance-reduction gate.
+ci: all race cover validate-scenarios sweep-resume-smoke obs-smoke provenance-smoke vr-smoke
 
 # Regenerate every paper figure (quick scale) into results/.
 figures:

@@ -37,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 		warmup        = fs.Float64("warmup", 300, "transient hours to discard")
 		measure       = fs.Float64("measure", 1500, "measured hours per replication")
 		seed          = fs.Uint64("seed", 1, "root random seed (shared by both systems)")
+		syncReport    = fs.Bool("sync-report", false, "audit the common-random-numbers pairing: per-purpose draw alignment and residual output correlation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	comp, err := repro.CompareConfigs(a, b, repro.Options{
 		Replications: *reps, Warmup: *warmup, Measure: *measure, Seed: *seed,
+		SyncReport: *syncReport,
 	})
 	if err != nil {
 		return err
@@ -76,6 +78,14 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "verdict: B is significantly better")
 	default:
 		fmt.Fprintln(stdout, "verdict: B is significantly worse")
+	}
+	if s := comp.Sync; s != nil {
+		fmt.Fprintf(stdout, "CRN sync audit: %d pairs | in sync %.0f%% | output correlation %.3f | CI shrink ×%.2f\n",
+			s.Pairs, 100*s.InSyncFraction, s.OutputCorrelation, s.CIShrinkFactor)
+		for _, c := range s.Components {
+			fmt.Fprintf(stdout, "  %-18s mean draws A %.1f | B %.1f | matched pairs %d/%d\n",
+				c.Name, c.MeanDrawsA, c.MeanDrawsB, c.MatchedPairs, s.Pairs)
+		}
 	}
 	return nil
 }

@@ -15,9 +15,11 @@ import (
 
 	"repro"
 	"repro/internal/configio"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/scenario"
+	"repro/internal/vr"
 )
 
 func main() {
@@ -55,6 +57,11 @@ func run(args []string) error {
 		journalPath   = fs.String("journal", "", "write a JSONL run journal (one record per replication plus the estimate) to this file")
 		metrics       = fs.Bool("metrics", false, "print the collected telemetry table after the results")
 		verifySpans   = fs.Bool("verify-spans", false, "cross-check the reward-based estimate against phase-span accounting and print the verdict")
+		vrMode        = fs.String("vr", "none", "variance reduction: none or antithetic (pairs replications on reflected random streams; odd -reps rounds up)")
+		rareLevel     = fs.Int("rare-level", 0, "estimate P[severe-failure level ≥ this within -rare-horizon] by importance splitting instead of the steady-state metrics (0 = off)")
+		rareEffort    = fs.Int("rare-effort", 1000, "splitting trials per stage (with -rare-level)")
+		rareHorizon   = fs.Float64("rare-horizon", 48, "trajectory time budget in hours (with -rare-level)")
+		rareBrute     = fs.Bool("rare-brute", false, "also run the brute-force estimate of the same probability for cross-checking (with -rare-level)")
 		debugAddr     = fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /metricz on this address during the run (e.g. localhost:6060)")
 		profileDir    = fs.String("profile-dir", "", "capture CPU/heap/goroutine profiles into this directory during the run")
 		profileEvery  = fs.Duration("profile-every", 0, "re-capture profiles at this interval (0 = one capture at start; needs -profile-dir)")
@@ -145,10 +152,18 @@ func run(args []string) error {
 	if err := repro.Validate(cfg); err != nil {
 		return err
 	}
+	mode, err := vr.ParseMode(*vrMode)
+	if err != nil {
+		return err
+	}
+	if *rareLevel > 0 {
+		return runRare(cfg, *rareLevel, *rareEffort, *rareHorizon, *seed, *rareBrute)
+	}
 
 	opts := repro.Options{
 		Replications: *reps, Warmup: *warmup, Measure: *measure, Seed: *seed,
 		Workers: *workers, VerifySpans: *verifySpans,
+		VarianceReduction: mode,
 	}
 	if *progress {
 		// The hook is serialized by the worker pool, so plain writes are
@@ -183,9 +198,11 @@ func run(args []string) error {
 		journalFile = f
 		opts.Journal = repro.NewRunJournal(f)
 		// Lead the journal with a provenance record: which binary, on
-		// which machine, simulated which configuration.
+		// which machine, simulated which configuration (and, when variance
+		// reduction is on, under which VR mode — two runs differing only in
+		// -vr must not hash alike).
 		stamp := repro.CollectProvenance()
-		if hash, err := provenance.HashJSON(cfg); err == nil {
+		if hash, err := configHash(cfg, mode); err == nil {
 			stamp = stamp.WithConfig(hash)
 		}
 		opts.Provenance = &stamp
@@ -193,7 +210,7 @@ func run(args []string) error {
 	var profiler *obs.ProfileCapture
 	if *profileDir != "" {
 		stamp := repro.CollectProvenance()
-		if hash, err := provenance.HashJSON(cfg); err == nil {
+		if hash, err := configHash(cfg, mode); err == nil {
 			stamp = stamp.WithConfig(hash)
 		}
 		profiler = obs.NewProfileCapture(obs.ProfileCaptureOptions{
@@ -238,6 +255,10 @@ func run(args []string) error {
 	fmt.Printf("processors            %d (%d nodes, %d I/O nodes)\n", cfg.Processors, cfg.Nodes(), cfg.IONodes())
 	fmt.Printf("useful work fraction  %v\n", res.UsefulWorkFraction)
 	fmt.Printf("total useful work     %v\n", res.TotalUsefulWork)
+	if r := res.VR; r != nil {
+		fmt.Printf("variance reduction    %s: %d pairs, factor %.2f, leg correlation %.3f\n",
+			r.Mode, r.Pairs, r.Factor, r.LegCorrelation)
+	}
 	printBreakdown(res)
 	if sc := res.SpanCheck; sc != nil {
 		verdict := "OK"
@@ -259,6 +280,52 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Println("telemetry")
 		reg.WriteTable(os.Stdout)
+	}
+	return nil
+}
+
+// configHash stamps the provenance record with what actually ran: the
+// plain configuration when VR is off (bit-identical to historical stamps),
+// or the configuration plus the VR mode when it is on.
+func configHash(cfg repro.Config, mode vr.Mode) (string, error) {
+	if mode == vr.ModeNone {
+		return provenance.HashJSON(cfg)
+	}
+	return provenance.HashJSON(struct {
+		Config repro.Config `json:"config"`
+		VR     string       `json:"vr"`
+	}{cfg, mode.String()})
+}
+
+// runRare estimates P[the severe-failure level reaches `level` within
+// `horizon` hours of a cold start] by fixed-effort importance splitting,
+// optionally cross-checked against the brute-force estimate of the same
+// probability under the same seeding discipline.
+func runRare(cfg repro.Config, level, effort int, horizon float64, seed uint64, brute bool) error {
+	if err := model.ValidateRareLevel(cfg, level); err != nil {
+		return err
+	}
+	tr, err := model.NewRareTrajectory(cfg)
+	if err != nil {
+		return err
+	}
+	opts := vr.SplitOptions{Level: level, Effort: effort, Horizon: horizon, Seed: seed}
+	res, err := vr.SplitEstimate(tr, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rare event            P[severe-failure level ≥ %d within %g h]\n", level, horizon)
+	fmt.Printf("splitting estimate    P = %.6g  (%d trials, %d steps)\n", res.Probability, res.Trials, res.Steps)
+	for k, f := range res.StageFractions {
+		fmt.Printf("  stage %d             P[level %d | level %d] = %.4g  (%d entrances)\n",
+			k, k+1, k, f, res.Entrances[k])
+	}
+	if brute {
+		bres, err := vr.BruteForce(tr, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("brute-force           P = %.6g  (%d trials, %d steps)\n", bres.Probability, bres.Trials, bres.Steps)
 	}
 	return nil
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/vr"
 )
 
 func main() {
@@ -75,6 +76,7 @@ func run(args []string) error {
 		warmup        = fs.Float64("warmup", 300, "transient hours to discard")
 		measure       = fs.Float64("measure", 1500, "measured hours per replication")
 		seed          = fs.Uint64("seed", 1, "root random seed")
+		vrMode        = fs.String("vr", "none", "variance reduction: none or antithetic (pairs replications on reflected random streams; odd -reps rounds up; recorded in the manifest so workers and -reduce follow it)")
 		workers       = fs.Int("workers", runtime.NumCPU(), "concurrent sweep rows, or in-block replications for -worker (1 = sequential; results are identical for any value)")
 		journalPath   = fs.String("journal", "", "write a JSONL run journal (rows in input order, records labeled param=value) to this file; with -reduce, the merged journal")
 		metrics       = fs.Bool("metrics", false, "print the collected telemetry table to stderr after the sweep")
@@ -144,6 +146,14 @@ func run(args []string) error {
 
 	if *values == "" {
 		return fmt.Errorf("-values is required")
+	}
+	mode, err := vr.ParseMode(*vrMode)
+	if err != nil {
+		return err
+	}
+	if mode == vr.ModeAntithetic && *reps%2 == 1 {
+		// Pairs need an even count; complete the last pair like ccsim does.
+		*reps++
 	}
 
 	base := repro.DefaultConfig()
@@ -233,6 +243,7 @@ func run(args []string) error {
 	opts := repro.Options{
 		Replications: *reps, Warmup: *warmup, Measure: *measure,
 		Seed: *seed, Workers: *workers, Metrics: reg,
+		VarianceReduction: mode,
 	}
 	m, err := runner.PlanGrid(*param, cells, *blockSize, opts)
 	if err != nil {
@@ -401,16 +412,28 @@ func reduceCmd(dir, journalPath string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%-16s %-24s %-24s\n", m.Name, "useful work fraction", "total useful work")
 	for _, c := range cells {
-		var frac, tot stats.Accumulator
-		for _, v := range c.FlatValues() {
-			frac.Add(v)
-		}
-		for _, v := range c.Totals {
-			tot.Add(v)
-		}
-		fmt.Fprintf(w, "%-16g %-24v %-24v\n", c.Cell.X, frac.CI(m.Confidence), tot.CI(m.Confidence))
+		fmt.Fprintf(w, "%-16g %-24v %-24v\n", c.Cell.X,
+			reducedCI(c.FlatValues(), m), reducedCI(c.Totals, m))
 	}
 	return nil
+}
+
+// reducedCI folds one cell's per-replication values into the interval the
+// monolithic table prints: a plain CI normally, the pair-mean CI when the
+// manifest ran antithetic variance reduction.
+func reducedCI(values []float64, m *blocks.Manifest) stats.Interval {
+	if m.VR == blocks.VRAntithetic {
+		var p stats.PairedAccumulator
+		for i := 0; i+1 < len(values); i += 2 {
+			p.AddPair(values[i], values[i+1])
+		}
+		return p.CI(m.Confidence)
+	}
+	var a stats.Accumulator
+	for _, v := range values {
+		a.Add(v)
+	}
+	return a.CI(m.Confidence)
 }
 
 // setter maps a parameter name to a config mutator.

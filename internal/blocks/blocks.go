@@ -42,6 +42,22 @@ const (
 	KindCompletion = "completion"
 )
 
+// Manifest VR modes: how a block's replications pair up. The strings match
+// vr.Mode spellings; blocks keeps its own constants so the manifest schema
+// does not depend on the vr package.
+const (
+	// VRNone is plain Monte Carlo — one independent replication per seed.
+	// It is spelled as the empty string so plain manifests omit the field
+	// and their content hashes are unchanged from earlier schema versions.
+	VRNone = ""
+	// VRAntithetic schedules replications as (plain, reflected) pairs:
+	// replications 2k and 2k+1 share seed k and differ only in stream
+	// reflection. Pair assignment happens here, in planning, which is what
+	// keeps block-sharded antithetic sweeps bit-identical to monolithic
+	// runs at any worker count.
+	VRAntithetic = "antithetic"
+)
+
 // Cell is one estimate of a sweep: a configuration plus the replication
 // spec that would feed a single runner.Estimate call.
 type Cell struct {
@@ -99,6 +115,9 @@ type Manifest struct {
 	// ValueKey names the per-replication journal field the block journals
 	// track convergence of ("useful_fraction", "wall_hours").
 	ValueKey string `json:"value_key"`
+	// VR is the variance-reduction mode of the plan (VRNone, VRAntithetic).
+	// Omitted when plain, so pre-VR manifests keep their content hashes.
+	VR string `json:"vr,omitempty"`
 	// BlockSize is the maximum replications per block.
 	BlockSize int `json:"block_size"`
 	// Cells and Blocks are the planned space, in reduction order.
@@ -126,6 +145,7 @@ type PlanOptions struct {
 	Confidence float64 // default 0.95
 	ValueKey   string  // default by kind
 	BlockSize  int     // replications per block; default 1
+	VR         string  // variance-reduction mode; default VRNone
 }
 
 // ReplicationSeeds derives one independent sub-stream seed per replication
@@ -137,6 +157,19 @@ func ReplicationSeeds(seed uint64, n int) []uint64 {
 	seeds := make([]uint64, n)
 	for r := range seeds {
 		seeds[r] = root.Uint64()
+	}
+	return seeds
+}
+
+// PairedReplicationSeeds derives the seed schedule of n replications run as
+// antithetic pairs: n/2 root draws, each assigned to two consecutive
+// replications — the plain leg at even global index 2k, the reflected leg
+// at 2k+1. n must be even (Plan enforces this per cell).
+func PairedReplicationSeeds(seed uint64, n int) []uint64 {
+	half := ReplicationSeeds(seed, n/2)
+	seeds := make([]uint64, 0, n)
+	for _, s := range half {
+		seeds = append(seeds, s, s)
 	}
 	return seeds
 }
@@ -169,6 +202,16 @@ func Plan(cells []Cell, o PlanOptions) (*Manifest, error) {
 	if o.BlockSize < 1 {
 		return nil, fmt.Errorf("blocks: block size %d < 1", o.BlockSize)
 	}
+	if o.VR != VRNone && o.VR != VRAntithetic {
+		return nil, fmt.Errorf("blocks: unknown VR mode %q (want %q or %q)", o.VR, VRNone, VRAntithetic)
+	}
+	if o.VR == VRAntithetic && o.BlockSize%2 == 1 {
+		// A block boundary must never split a (plain, reflected) pair: the
+		// pair is the statistical unit, and keeping both legs in one block
+		// keeps every block journal self-contained. Round an odd block size
+		// up rather than erroring so the default of 1 keeps working.
+		o.BlockSize++
+	}
 	m := &Manifest{
 		Version:    1,
 		Kind:       o.Kind,
@@ -179,6 +222,7 @@ func Plan(cells []Cell, o PlanOptions) (*Manifest, error) {
 		Confidence: o.Confidence,
 		ValueKey:   o.ValueKey,
 		BlockSize:  o.BlockSize,
+		VR:         o.VR,
 		Cells:      cells,
 	}
 	for ci, c := range cells {
@@ -188,7 +232,15 @@ func Plan(cells []Cell, o PlanOptions) (*Manifest, error) {
 		if err := c.Config.Validate(); err != nil {
 			return nil, fmt.Errorf("blocks: cell %d (%s): %w", ci, c.Label, err)
 		}
-		seeds := ReplicationSeeds(c.Seed, c.Replications)
+		var seeds []uint64
+		if o.VR == VRAntithetic {
+			if c.Replications%2 != 0 {
+				return nil, fmt.Errorf("blocks: cell %d (%s): %d replications cannot form (plain, reflected) pairs", ci, c.Label, c.Replications)
+			}
+			seeds = PairedReplicationSeeds(c.Seed, c.Replications)
+		} else {
+			seeds = ReplicationSeeds(c.Seed, c.Replications)
+		}
 		for start := 0; start < c.Replications; start += o.BlockSize {
 			end := start + o.BlockSize
 			if end > c.Replications {
@@ -236,6 +288,9 @@ func (m *Manifest) validate() error {
 	if got := m.computeHash(); got != m.Hash {
 		return fmt.Errorf("blocks: manifest hash mismatch: recorded %s, content %s (file edited or corrupt?)", m.Hash, got)
 	}
+	if m.VR != VRNone && m.VR != VRAntithetic {
+		return fmt.Errorf("blocks: unknown manifest VR mode %q", m.VR)
+	}
 	next := make([]int, len(m.Cells))
 	lastCell := 0
 	for i, b := range m.Blocks {
@@ -254,6 +309,20 @@ func (m *Manifest) validate() error {
 		}
 		if len(b.Seeds) == 0 {
 			return fmt.Errorf("blocks: block %d has no replications", i)
+		}
+		if m.VR == VRAntithetic {
+			// Pairs are aligned to even global offsets and never split
+			// across blocks, and both legs of a pair carry the same seed —
+			// the invariants the leg assignment (global index mod 2) and the
+			// paired reducer rely on.
+			if b.RepStart%2 != 0 || len(b.Seeds)%2 != 0 {
+				return fmt.Errorf("blocks: block %d splits an antithetic pair (start %d, %d seeds)", i, b.RepStart, len(b.Seeds))
+			}
+			for k := 0; k+1 < len(b.Seeds); k += 2 {
+				if b.Seeds[k] != b.Seeds[k+1] {
+					return fmt.Errorf("blocks: block %d pair at replication %d has mismatched seeds", i, b.RepStart+k)
+				}
+			}
 		}
 		next[b.CellIndex] += len(b.Seeds)
 	}

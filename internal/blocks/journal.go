@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/stats"
 )
 
 // Record is one journal line: the kind discriminator plus the fields.
@@ -133,11 +132,12 @@ func writeBlockJournal(dir string, m *Manifest, b Block, out BlockOutput, worker
 	}
 	var buf bytes.Buffer
 	j := obs.NewJournal(&buf)
-	var acc stats.Accumulator
+	// Block-local prefix widths (paired under VR — a block always holds
+	// whole pairs); the reducer rewrites them to the cell-global prefix.
+	w := NewWidthTracker(m.Confidence, m.VR)
 	for i, rec := range out.Records {
 		if v, ok := rec.Float(m.ValueKey); ok {
-			acc.Add(v)
-			rec.Fields["ci_half_width"] = acc.Convergence(m.Confidence).HalfWidth
+			rec.Fields["ci_half_width"] = w.Add(v)
 		}
 		if err := j.Record(rec.Kind, rec.Fields); err != nil {
 			return fmt.Errorf("blocks: block %d record %d: %w", b.ID, i, err)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/vr"
 )
 
 // isFinite reports a representable JSON number.
@@ -107,40 +108,108 @@ func ReduceManifest(dir string, m *Manifest) ([]CellResult, error) {
 	// monolithic order, so the recomputed widths are bit-identical to the
 	// single-process run's.
 	for ci := range cells {
-		var acc stats.Accumulator
+		w := NewWidthTracker(m.Confidence, m.VR)
 		for _, rec := range cells[ci].Records {
 			if v, ok := rec.Float(m.ValueKey); ok {
-				acc.Add(v)
-				rec.Fields["ci_half_width"] = acc.Convergence(m.Confidence).HalfWidth
+				rec.Fields["ci_half_width"] = w.Add(v)
 			}
 		}
 	}
 	return cells, nil
 }
 
+// WidthTracker computes the running ci_half_width journaled beside each
+// replication record: the plain prefix half-width or, under antithetic VR,
+// the half-width of the pair-mean estimate over the pairs completed so far
+// (0 while fewer than two pairs are in, with the record count carrying the
+// truth — the same convention stats.Convergence uses). One implementation
+// serves the monolithic journal writer, the block-local writer and the
+// reducer, which is what pins the three to identical bytes.
+type WidthTracker struct {
+	level      float64
+	paired     bool
+	acc        stats.Accumulator
+	pacc       stats.PairedAccumulator
+	pending    float64
+	hasPending bool
+}
+
+// NewWidthTracker builds a tracker for the given confidence level and
+// manifest VR mode.
+func NewWidthTracker(level float64, vrMode string) *WidthTracker {
+	return &WidthTracker{level: level, paired: vrMode == VRAntithetic}
+}
+
+// Add folds one replication value (one leg, under VR) and returns the
+// half-width to journal with its record.
+func (w *WidthTracker) Add(v float64) float64 {
+	if !w.paired {
+		w.acc.Add(v)
+		return w.acc.Convergence(w.level).HalfWidth
+	}
+	if !w.hasPending {
+		w.pending = v
+		w.hasPending = true
+	} else {
+		w.pacc.AddPair(w.pending, v)
+		w.hasPending = false
+	}
+	return w.pacc.Convergence(w.level).HalfWidth
+}
+
 // EstimateFields builds the closing "estimate" record for a cell from its
 // per-block value series. runner.writeJournal and the reducer both call
 // it, which is what pins the two journal paths to one schema: replication
 // count, total events, useful-work interval, total-useful interval, and
-// the merged convergence trajectory.
-func EstimateFields(level float64, valueBlocks [][]float64, totals []float64, events uint64, label string) map[string]any {
-	var frac, tot stats.Accumulator
+// the merged convergence trajectory. Under antithetic VR (vrMode ==
+// VRAntithetic) the intervals and convergence come from the pair means and
+// the record gains a "vr" block reporting the measured variance-reduction
+// factor; plain mode emits exactly the pre-VR schema, byte for byte.
+func EstimateFields(level float64, valueBlocks [][]float64, totals []float64, events uint64, label, vrMode string) map[string]any {
+	var fields map[string]any
 	n := 0
 	for _, blk := range valueBlocks {
-		for _, v := range blk {
-			frac.Add(v)
-			n++
+		n += len(blk)
+	}
+	if vrMode == VRAntithetic {
+		var frac, tot stats.PairedAccumulator
+		addPairs := func(p *stats.PairedAccumulator, legs []float64) {
+			for i := 0; i+1 < len(legs); i += 2 {
+				p.AddPair(legs[i], legs[i+1])
+			}
 		}
-	}
-	for _, v := range totals {
-		tot.Add(v)
-	}
-	fields := map[string]any{
-		"replications":    n,
-		"events":          events,
-		"useful_fraction": IntervalFields(frac.CI(level)),
-		"total_useful":    IntervalFields(tot.CI(level)),
-		"convergence":     stats.MergeConvergence(valueBlocks, level),
+		var flat []float64
+		for _, blk := range valueBlocks {
+			flat = append(flat, blk...)
+		}
+		addPairs(&frac, flat)
+		addPairs(&tot, totals)
+		fields = map[string]any{
+			"replications":    n,
+			"events":          events,
+			"useful_fraction": IntervalFields(frac.CI(level)),
+			"total_useful":    IntervalFields(tot.CI(level)),
+			"convergence":     stats.MergePairedConvergence(valueBlocks, level),
+			"vr": vr.NewReport(vr.ModeAntithetic, frac.Pairs(), frac.VarianceReductionFactor(),
+				frac.LegCorrelation(), frac.PairVariance(), frac.LegVariance()),
+		}
+	} else {
+		var frac, tot stats.Accumulator
+		for _, blk := range valueBlocks {
+			for _, v := range blk {
+				frac.Add(v)
+			}
+		}
+		for _, v := range totals {
+			tot.Add(v)
+		}
+		fields = map[string]any{
+			"replications":    n,
+			"events":          events,
+			"useful_fraction": IntervalFields(frac.CI(level)),
+			"total_useful":    IntervalFields(tot.CI(level)),
+			"convergence":     stats.MergeConvergence(valueBlocks, level),
+		}
 	}
 	if label != "" {
 		fields["label"] = label
@@ -202,7 +271,7 @@ func WriteReduced(j *obs.Journal, m *Manifest, cells []CellResult) error {
 			kind = "completion"
 			fields = completionFields(m, c)
 		} else {
-			fields = EstimateFields(m.Confidence, c.Values, c.Totals, c.Events, c.Cell.Label)
+			fields = EstimateFields(m.Confidence, c.Values, c.Totals, c.Events, c.Cell.Label, m.VR)
 		}
 		if err := j.Record(kind, fields); err != nil {
 			return err

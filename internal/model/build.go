@@ -53,6 +53,13 @@ type Instance struct {
 	// clears phaseRec, detaching recording without touching the hook list.
 	phaseRec  *phasetrace.Recorder
 	phaseHook bool
+
+	// Variance-reduction routing (vr.go): antithetic reflection and
+	// common-random-numbers purpose sub-streams. Both off by default;
+	// effective from the next Recycle.
+	vrReflected bool
+	vrCRN       bool
+	purposes    [numPurposes]*rng.Counter
 }
 
 // Counters tallies discrete events of one trajectory.
@@ -196,7 +203,9 @@ func (in *Instance) addComputeAndMaster() {
 	in.mod.AddTimed(san.Activity{
 		Name:  "coord",
 		Input: san.AllOf(pl.quiescing, pl.appCompute, pl.sysUp),
-		Delay: func(_ *san.Marking, src rng.Source) float64 { return in.coordDist.Sample(src) },
+		Delay: func(_ *san.Marking, src rng.Source) float64 {
+			return in.coordDist.Sample(in.delaySrc(purposeCoord, src))
+		},
 		Output: san.Out(func(m *san.Marking) {
 			m.Set(pl.completeCoordination, 1)
 		}),

@@ -113,7 +113,7 @@ func (in *Instance) addFailureAndRecovery() {
 		Name:  "comp_failure",
 		Input: san.AllOf(pl.sysUp),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
-			return in.failureDelay(computeRate*in.corrMult(m), src)
+			return in.failureDelay(computeRate*in.corrMult(m), in.delaySrc(purposeCompFailure, src))
 		},
 		ReactivateOn: []*san.Place{pl.corrWindow},
 		Output: san.Out(func(m *san.Marking) {
@@ -150,7 +150,7 @@ func (in *Instance) addFailureAndRecovery() {
 		Name:  "recover_stage2",
 		Input: san.AllOf(pl.recoveryStage2, pl.ioUp),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
-			d := rng.Exponential{MeanValue: cfg.MTTR}.Sample(src)
+			d := rng.Exponential{MeanValue: cfg.MTTR}.Sample(in.delaySrc(purposeRecovery, src))
 			if m.Has(pl.reconfigNeeded) {
 				d += cfg.ReconfigurationTime
 			}
@@ -179,7 +179,7 @@ func (in *Instance) addFailureAndRecovery() {
 			return (m.Has(pl.recoveryStage1) || m.Has(pl.recoveryStage2)) && !m.Has(pl.rebooting)
 		}, pl.recoveryStage1, pl.recoveryStage2, pl.rebooting),
 		Delay: func(m *san.Marking, src rng.Source) float64 {
-			return in.failureDelay(computeRate*in.corrMult(m), src)
+			return in.failureDelay(computeRate*in.corrMult(m), in.delaySrc(purposeRecoveryFailure, src))
 		},
 		ReactivateOn: []*san.Place{pl.corrWindow},
 		Output: san.Out(func(m *san.Marking) {
@@ -205,7 +205,7 @@ func (in *Instance) addFailureAndRecovery() {
 			Name:  "io_failure",
 			Input: san.AllOf(pl.ioUp),
 			Delay: func(m *san.Marking, src rng.Source) float64 {
-				return in.failureDelay(ioRate*in.corrMult(m), src)
+				return in.failureDelay(ioRate*in.corrMult(m), in.delaySrc(purposeIOFailure, src))
 			},
 			ReactivateOn: []*san.Place{pl.corrWindow},
 			Output: san.Out(func(m *san.Marking) {
@@ -223,7 +223,7 @@ func (in *Instance) addFailureAndRecovery() {
 		Name:  "io_restart",
 		Input: san.AllOf(pl.ioRestarting),
 		Delay: func(_ *san.Marking, src rng.Source) float64 {
-			return rng.Exponential{MeanValue: cfg.MTTRIONodes}.Sample(src)
+			return rng.Exponential{MeanValue: cfg.MTTRIONodes}.Sample(in.delaySrc(purposeIORestart, src))
 		},
 		Output: san.Out(func(m *san.Marking) {
 			m.Move(pl.ioRestarting, pl.ionodeIdle)
@@ -286,7 +286,7 @@ func (in *Instance) computeFailure(m *san.Marking) {
 	// Permanent-failure extension: with the configured probability this
 	// failure took hardware out for good, so the coming recovery must
 	// first reconfigure onto spare nodes and remap the checkpoint.
-	if in.cfg.ProbPermanentFailure > 0 && in.src.Float64() < in.cfg.ProbPermanentFailure {
+	if in.cfg.ProbPermanentFailure > 0 && in.u01(purposePermanent) < in.cfg.ProbPermanentFailure {
 		in.counters.PermanentFailures++
 		m.Set(pl.reconfigNeeded, 1)
 	}
@@ -429,7 +429,7 @@ func (in *Instance) maybeOpenCorrWindow(m *san.Marking) {
 	if cfg.ProbCorrelated <= 0 || m.Has(in.pl.corrWindow) {
 		return
 	}
-	if in.src.Float64() < cfg.ProbCorrelated {
+	if in.u01(purposeCorrWindow) < cfg.ProbCorrelated {
 		in.counters.CorrWindows++
 		m.Set(in.pl.corrWindow, 1)
 	}

@@ -1,0 +1,87 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/san"
+)
+
+// RareTrajectory adapts one Instance to the level-crossing view the
+// importance-splitting driver (internal/vr) needs. The importance function
+// is the paper's severe-failure ladder: level 1 is reached when a failure
+// puts the system into recovery, and each consecutive failure that strikes
+// *during* recovery climbs one more level (the recovery_failures place,
+// whose count triggers a system reboot at SevereFailureThreshold). The
+// level is the running maximum over the trajectory, observed through a
+// san.Simulator firing hook — strictly observational, so driven and
+// plainly-run trajectories are bit-identical.
+//
+// One RareTrajectory wraps one Instance and is reused across all splitting
+// stages via Prime (full rewind) and Reseed (future randomness only, for
+// branching a replayed path mid-run).
+type RareTrajectory struct {
+	in     *Instance
+	level  int
+	levelT float64 // simulated time the current level was first reached
+}
+
+// NewRareTrajectory builds a primed trajectory for cfg. Call Prime before
+// the first use.
+func NewRareTrajectory(cfg cluster.Config) (*RareTrajectory, error) {
+	in, err := New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	r := &RareTrajectory{in: in}
+	pl := in.pl
+	in.sim.AddFiringHook(func(t float64, _ *san.Activity, m *san.Marking) {
+		if !(m.Has(pl.recoveryStage1) || m.Has(pl.recoveryStage2) || m.Has(pl.rebooting)) {
+			return
+		}
+		if lvl := 1 + m.Get(pl.recoveryFailures); lvl > r.level {
+			r.level = lvl
+			r.levelT = t
+		}
+	})
+	return r, nil
+}
+
+// Prime rewinds the trajectory to t = 0 under the given root seed.
+func (r *RareTrajectory) Prime(seed uint64) {
+	r.level = 0
+	r.levelT = 0
+	r.in.Recycle(seed)
+}
+
+// Step advances the trajectory by one event firing.
+func (r *RareTrajectory) Step() bool { return r.in.sim.Step() }
+
+// Now returns the current simulated time in hours.
+func (r *RareTrajectory) Now() float64 { return r.in.sim.Now() }
+
+// Level returns the highest importance level reached so far.
+func (r *RareTrajectory) Level() int { return r.level }
+
+// Reseed swaps the trajectory's future randomness without touching its
+// state — already-scheduled events keep their times. This is the branch
+// point of fixed-effort splitting: replay a recorded path to a level
+// crossing, then Reseed to explore an independent continuation.
+func (r *RareTrajectory) Reseed(seed uint64) { r.in.src.Reseed(seed) }
+
+// MaxLevel returns the highest meaningful splitting level for cfg: reaching
+// SevereFailureThreshold consecutive recovery failures reboots the system,
+// so levels beyond 1+threshold are unreachable.
+func MaxLevel(cfg cluster.Config) int { return 1 + cfg.SevereFailureThreshold }
+
+// ValidateRareLevel checks a requested splitting level against cfg.
+func ValidateRareLevel(cfg cluster.Config, level int) error {
+	if level < 1 {
+		return fmt.Errorf("model: rare-event level must be >= 1 (level 1 = system enters recovery)")
+	}
+	if max := MaxLevel(cfg); level > max {
+		return fmt.Errorf("model: rare-event level %d unreachable — %d consecutive recovery failures force a reboot (max level %d)",
+			level, cfg.SevereFailureThreshold, max)
+	}
+	return nil
+}

@@ -22,6 +22,12 @@ import "repro/internal/stats"
 // because the initial settle already samples activity delays.
 func (in *Instance) Recycle(seed uint64) {
 	in.src.Reseed(seed)
+	if in.vrCRN {
+		// Fresh per-purpose CRN sub-streams (and draw counters) for the
+		// new replication, derived before sim.Reset for the same reason
+		// the main stream is reseeded first.
+		in.derivePurposes(seed)
+	}
 	in.pendingWriteScale = 1
 	in.lost = 0
 	in.capB = 0

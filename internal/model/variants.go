@@ -83,7 +83,7 @@ func clampInterval(cfg *cluster.Config, iv float64) float64 {
 // absorbed. Consumes no randomness when the extension is disabled.
 func (in *Instance) maybeMigrate(m *san.Marking) bool {
 	cfg := &in.cfg
-	if cfg.FailurePredictionAccuracy <= 0 || in.src.Float64() >= cfg.FailurePredictionAccuracy {
+	if cfg.FailurePredictionAccuracy <= 0 || in.u01(purposeMigration) >= cfg.FailurePredictionAccuracy {
 		return false
 	}
 	pl := in.pl

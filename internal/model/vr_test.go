@@ -1,0 +1,206 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/vr"
+)
+
+// SetVR with both flags off must be a true no-op: an instance that toggled
+// VR on and off again reproduces the plain trajectory bit for bit. This is
+// the plain-mode bit-identity half of the PR's acceptance criteria at the
+// model layer.
+func TestSetVROffIsBitTransparent(t *testing.T) {
+	const horizon = 2000.0
+	for name, cfg := range differentialConfigs() {
+		t.Run(name, func(t *testing.T) {
+			want, wantMt := collectTrajectory(t, cfg, 11, false, horizon)
+			in, err := New(cfg, 999)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in.SetVR(true, true) // detour through both modes
+			in.Recycle(5)
+			in.Advance(200)
+			in.SetVR(false, false)
+			in.Recycle(11)
+			sameTrajectory(t, "vr-off", want, wantMt, in, horizon)
+		})
+	}
+}
+
+// A reflected leg must differ from the plain leg (it is a different
+// trajectory) while staying deterministic: two reflected runs of the same
+// seed are identical, whether reflection was set on a fresh or a recycled
+// instance.
+func TestReflectedLegDeterministicAndDistinct(t *testing.T) {
+	cfg := cluster.Default()
+	const seed, horizon = 17, 2000.0
+
+	plain, plainMt := collectTrajectory(t, cfg, seed, false, horizon)
+
+	reflect := func() ([]traceRecord, Metrics) {
+		in, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.SetVR(true, false)
+		in.Recycle(seed)
+		return runTrajectory(t, in, horizon)
+	}
+	ra, raMt := reflect()
+	rb, rbMt := reflect()
+	if len(ra) != len(rb) {
+		t.Fatalf("reflected runs diverged: %d vs %d events", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("reflected runs diverged at event %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	if raMt.UsefulWorkFraction != rbMt.UsefulWorkFraction {
+		t.Fatalf("reflected metrics diverged: %v vs %v", raMt.UsefulWorkFraction, rbMt.UsefulWorkFraction)
+	}
+	// Distinct from plain: same seed, mirrored draws.
+	same := len(ra) == len(plain)
+	if same {
+		same = false
+		for i := range ra {
+			if ra[i] != plain[i] {
+				break
+			}
+			if i == len(ra)-1 {
+				same = true
+			}
+		}
+	}
+	if same && raMt.UsefulWorkFraction == plainMt.UsefulWorkFraction {
+		t.Fatal("reflected trajectory is identical to the plain one — reflection is not reaching the simulator")
+	}
+}
+
+// Under CRN routing every stochastic purpose draws from its own counted
+// sub-stream; the counters must be populated and reset per Recycle, and the
+// trajectory must stay deterministic in the seed.
+func TestCRNDrawCountsAndDeterminism(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.ProbCorrelated = 0.3
+	cfg.CorrelatedFactor = 400
+	in, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetVR(false, true)
+	in.Recycle(21)
+	a, aMt := runTrajectory(t, in, 3000)
+	counts := in.DrawCounts()
+	if counts == nil {
+		t.Fatal("DrawCounts nil under CRN")
+	}
+	names := PurposeNames()
+	if len(counts) != len(names) {
+		t.Fatalf("%d counts for %d purposes", len(counts), len(names))
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no draws counted on any purpose")
+	}
+	if counts[purposeCompFailure] == 0 {
+		t.Fatal("compute-failure purpose consumed no draws over a 3000h trajectory")
+	}
+	// Determinism: recycle with the same seed reproduces trace and counts.
+	in.Recycle(21)
+	b, bMt := runTrajectory(t, in, 3000)
+	if len(a) != len(b) {
+		t.Fatalf("CRN runs diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("CRN runs diverged at event %d", i)
+		}
+	}
+	if aMt.UsefulWorkFraction != bMt.UsefulWorkFraction {
+		t.Fatalf("CRN metrics diverged")
+	}
+	counts2 := in.DrawCounts()
+	for p := range counts {
+		if counts[p] != counts2[p] {
+			t.Fatalf("draw counts not reproducible: purpose %s %d vs %d", names[p], counts[p], counts2[p])
+		}
+	}
+	// Off again → nil.
+	in.SetVR(false, false)
+	if in.DrawCounts() != nil {
+		t.Fatal("DrawCounts should be nil with CRN off")
+	}
+}
+
+// smallRareConfig shrinks the cluster so failures (and failures during
+// recovery) are frequent enough to brute-force: a short-MTTF machine with a
+// long MTTR, so recovery windows are wide.
+func smallRareConfig() cluster.Config {
+	cfg := cluster.Default()
+	cfg.Processors = 4096 // 512 nodes → system MTTF ≈ 17h
+	cfg.MTTFPerNode = cluster.Years(1)
+	cfg.MTTR = cluster.Minutes(60) // long recovery: failures can strike inside
+	return cfg
+}
+
+// The splitting driver over the real SAN must agree with brute force on a
+// small config — the unbiasedness pin of the tentpole's third leg.
+func TestRareTrajectorySplitMatchesBruteForce(t *testing.T) {
+	cfg := smallRareConfig()
+	const level = 2 // a failure strikes while the system is recovering
+	if err := ValidateRareLevel(cfg, level); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewRareTrajectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 48.0 // hours
+	brute, err := vr.BruteForce(tr, vr.SplitOptions{Level: level, Effort: 3000, Horizon: horizon, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute.Probability <= 0 || brute.Probability >= 0.5 {
+		t.Fatalf("brute-force P = %v; config not in the testable band", brute.Probability)
+	}
+	split, err := vr.SplitEstimate(tr, vr.SplitOptions{Level: level, Effort: 1500, Horizon: horizon, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Probability <= 0 {
+		t.Fatalf("splitting estimated zero; stage fractions %v", split.StageFractions)
+	}
+	// Agreement within combined binomial noise (conservative 5σ band; the
+	// splitting estimator's variance is below the binomial bound at this
+	// effort).
+	se := math.Sqrt(brute.Probability*(1-brute.Probability)/3000) +
+		math.Sqrt(split.Probability*(1-split.Probability)/1500)
+	if diff := math.Abs(split.Probability - brute.Probability); diff > 5*se {
+		t.Fatalf("splitting %v vs brute force %v: |Δ| = %v > 5σ = %v",
+			split.Probability, brute.Probability, diff, 5*se)
+	}
+}
+
+func TestValidateRareLevel(t *testing.T) {
+	cfg := cluster.Default()
+	if err := ValidateRareLevel(cfg, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if err := ValidateRareLevel(cfg, 1); err != nil {
+		t.Errorf("level 1 rejected: %v", err)
+	}
+	if err := ValidateRareLevel(cfg, MaxLevel(cfg)); err != nil {
+		t.Errorf("max level rejected: %v", err)
+	}
+	if err := ValidateRareLevel(cfg, MaxLevel(cfg)+1); err == nil {
+		t.Error("unreachable level accepted")
+	}
+}

@@ -274,15 +274,6 @@ func (d Weibull) String() string {
 }
 
 // open returns a uniform sample in (0,1), never exactly zero, so that
-// ln(u) is always finite.
-func open(src Source) float64 {
-	if s, ok := src.(*Stream); ok {
-		return s.Float64Open()
-	}
-	for {
-		u := src.Float64()
-		if u > 0 {
-			return u
-		}
-	}
-}
+// ln(u) is always finite. It delegates to the package-level Float64Open,
+// whose retry loop is bounded against degenerate sources.
+func open(src Source) float64 { return Float64Open(src) }

@@ -1,0 +1,78 @@
+package rng
+
+import "math"
+
+// NormFloat64Inv returns a standard normal variate sampled by inversion:
+// Φ⁻¹(U) for one uniform U ∈ (0, 1). Unlike the polar Box–Muller in
+// NormFloat64, inversion consumes exactly one draw and is monotone in it,
+// which is what antithetic pairing needs — rejection sampling consumes a
+// data-dependent number of uniforms and breaks the u → 1−u reflection
+// symmetry. Under an Antithetic source the paired draws are exact negatives:
+// the evaluation is routed through one half of the symmetric quantile
+// (probitHalf), negated for u > ½, and the reflection 1−u is exact for every
+// value Float64 can produce (see Reflect), so Φ⁻¹(1−u) == −Φ⁻¹(u) bit for
+// bit.
+func NormFloat64Inv(src Source) float64 {
+	u := Float64Open(src)
+	switch {
+	case u == 0.5:
+		return 0
+	case u > 0.5:
+		// 1−u is exact here (Sterbenz: both operands within a factor of
+		// two), so this is the exact mirror of the u < ½ branch.
+		return -probitHalf(1 - u)
+	default:
+		return probitHalf(u)
+	}
+}
+
+// NormFloat64Inv is the inversion-based counterpart of NormFloat64 on a
+// concrete stream.
+func (r *Stream) NormFloat64Inv() float64 { return NormFloat64Inv(r) }
+
+// Acklam's rational approximation to the normal quantile (relative error
+// < 1.15e-9), refined below with one Halley step against math.Erfc to near
+// machine precision.
+var (
+	probitA = [6]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	probitB = [5]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	probitC = [6]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	probitD = [4]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+)
+
+// probitHalf returns Φ⁻¹(p) for p ∈ (0, ½), which is always negative. The
+// symmetric upper half is obtained by negation in NormFloat64Inv so the two
+// halves are exact mirrors by construction.
+func probitHalf(p float64) float64 {
+	const pLow = 0.02425
+	var x float64
+	if p < pLow {
+		// Lower tail.
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((probitC[0]*q+probitC[1])*q+probitC[2])*q+probitC[3])*q+probitC[4])*q + probitC[5]) /
+			((((probitD[0]*q+probitD[1])*q+probitD[2])*q+probitD[3])*q + 1)
+	} else {
+		// Central region.
+		q := p - 0.5
+		r := q * q
+		x = (((((probitA[0]*r+probitA[1])*r+probitA[2])*r+probitA[3])*r+probitA[4])*r + probitA[5]) * q /
+			(((((probitB[0]*r+probitB[1])*r+probitB[2])*r+probitB[3])*r+probitB[4])*r + 1)
+	}
+	// One Halley refinement: e = Φ(x) − p via the complementary error
+	// function, then x ← x − u/(1 + x·u/2).
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}

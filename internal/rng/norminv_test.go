@@ -1,0 +1,88 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// Paired normal draws under an Antithetic source must be exact negatives —
+// the property inversion sampling buys that polar Box–Muller cannot.
+func TestNormFloat64InvExactNegation(t *testing.T) {
+	plain, mirror := New(77), Antithetic{Inner: New(77)}
+	for i := 0; i < 100000; i++ {
+		x := NormFloat64Inv(plain)
+		y := NormFloat64Inv(mirror)
+		if y != -x {
+			t.Fatalf("draw %d: paired normals %v and %v are not exact negatives", i, x, y)
+		}
+	}
+}
+
+// The quantile must invert the normal CDF to near machine precision across
+// the full range, including deep tails.
+func TestNormFloat64InvAccuracy(t *testing.T) {
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	for _, p := range []float64{
+		1e-300, 1e-100, 1e-16, 1e-9, 0.02425, 0.0243, 0.1, 0.25, 0.5, 0.75,
+		0.9, 0.97575, 1 - 1e-9, 1 - 1e-12,
+	} {
+		src := &fixedSource{seq: []float64{p}}
+		x := NormFloat64Inv(src)
+		got := cdf(x)
+		// Compare in probability space, relative to min(p, 1−p) so the
+		// tails are held to the same standard as the center.
+		scale := math.Min(p, 1-p)
+		if diff := math.Abs(got - p); diff/scale > 1e-11 {
+			t.Errorf("Φ(Φ⁻¹(%g)) = %g, relative |Δ| = %g", p, got, diff/scale)
+		}
+	}
+	// Spot-check known quantiles.
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.84134474606854293, 1},
+	} {
+		src := &fixedSource{seq: []float64{tc.p}}
+		if got := NormFloat64Inv(src); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Φ⁻¹(%g) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormFloat64InvSymmetric(t *testing.T) {
+	// Φ⁻¹(1−p) must equal −Φ⁻¹(p) exactly for representable reflections.
+	r := New(31)
+	for i := 0; i < 100000; i++ {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		a := NormFloat64Inv(&fixedSource{seq: []float64{u}})
+		b := NormFloat64Inv(&fixedSource{seq: []float64{1 - u}})
+		if b != -a {
+			t.Fatalf("Φ⁻¹(%v) = %v and Φ⁻¹(1−u) = %v are not exact negatives", u, a, b)
+		}
+	}
+}
+
+// Inversion and Box–Muller must agree in distribution (moments), so the
+// inversion path is a drop-in replacement under antithetic mode.
+func TestNormFloat64InvMoments(t *testing.T) {
+	const n = 200000
+	r := New(99)
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64Inv()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("sample mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("sample variance %v, want ~1", variance)
+	}
+}

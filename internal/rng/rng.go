@@ -85,15 +85,42 @@ func (r *Stream) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// openRetries bounds the zero-rejection loop in Float64Open. A healthy
+// stream emits zero with probability 2⁻⁵³ per draw, so 64 consecutive zeros
+// is unreachable in practice (< 2⁻³³⁹²); the bound exists so a degenerate
+// Source — a test stub returning constant zero, or a broken wrapper — makes
+// sampling fall back to the smallest positive subnormal instead of spinning
+// forever.
+const openRetries = 64
+
 // Float64Open returns a uniform value in the open interval (0, 1), useful
-// for inverse-CDF sampling where log(0) must be avoided.
+// for inverse-CDF sampling where log(0) must be avoided. The retry loop is
+// bounded: after openRetries zero draws it returns the smallest positive
+// subnormal double rather than hanging on a degenerate stream.
 func (r *Stream) Float64Open() float64 {
-	for {
+	for i := 0; i < openRetries; i++ {
 		u := r.Float64()
 		if u > 0 {
 			return u
 		}
 	}
+	return math.SmallestNonzeroFloat64
+}
+
+// Float64Open returns a uniform value in (0, 1) from an arbitrary Source,
+// with the same bounded retry-and-fall-back contract as Stream.Float64Open.
+// It is the generic path behind every inversion sampler in dist.go.
+func Float64Open(src Source) float64 {
+	if s, ok := src.(*Stream); ok {
+		return s.Float64Open()
+	}
+	for i := 0; i < openRetries; i++ {
+		u := src.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+	return math.SmallestNonzeroFloat64
 }
 
 // Split derives an independent Stream from this stream and a label.

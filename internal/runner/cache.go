@@ -27,9 +27,17 @@ func newInstanceCache() *instanceCache {
 }
 
 // instance returns an instance of cfg rewound to seed, recycling a cached
-// one when the worker has built this configuration before.
-func (c *instanceCache) instance(cfg cluster.Config, seed uint64) (in *model.Instance, recycled bool, err error) {
+// one when the worker has built this configuration before. reflected runs
+// the replication as the antithetic leg of its pair; crn routes every
+// stochastic purpose through its own labelled sub-stream (the Compare
+// synchronization audit). Both act through model.Instance.SetVR, which
+// takes effect on the next Recycle — so a fresh build under either flag is
+// immediately recycled onto its own seed, and a plain replication on a
+// cached instance clears the flags first (a pinned no-op for the
+// trajectory: model's TestSetVROffIsBitTransparent).
+func (c *instanceCache) instance(cfg cluster.Config, seed uint64, reflected, crn bool) (in *model.Instance, recycled bool, err error) {
 	if in, ok := c.byCfg[cfg]; ok {
+		in.SetVR(reflected, crn)
 		in.Recycle(seed)
 		return in, true, nil
 	}
@@ -38,5 +46,9 @@ func (c *instanceCache) instance(cfg cluster.Config, seed uint64) (in *model.Ins
 		return nil, false, err
 	}
 	c.byCfg[cfg] = in
+	if reflected || crn {
+		in.SetVR(reflected, crn)
+		in.Recycle(seed)
+	}
 	return in, false, nil
 }

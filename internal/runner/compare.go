@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phasetrace"
 	"repro/internal/stats"
+	"repro/internal/vr"
 )
 
 // Bucket layouts for the span-derived metrics: phase budgets span minutes
@@ -34,6 +35,10 @@ type Comparison struct {
 	FractionDiff stats.Interval
 	// TotalDiff is the paired CI of (B − A) total useful work.
 	TotalDiff stats.Interval
+	// Sync is the common-random-numbers audit (Options.SyncReport only):
+	// per-purpose draw alignment between the paired replications and the
+	// residual output correlation the pairing achieved.
+	Sync *vr.SyncReport
 }
 
 // Significant reports whether the fraction difference is statistically
@@ -85,24 +90,27 @@ func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Com
 		return Comparison{}, fmt.Errorf("runner: %w", err)
 	}
 	seeds := plan.Blocks[0].Seeds // == Blocks[1].Seeds: same root seed
-	type pair struct{ a, b model.Metrics }
+	type pair struct {
+		a, b           model.Metrics
+		drawsA, drawsB []uint64
+	}
 	var events atomic.Uint64
 	// One cache per worker covers both configurations: a worker holds at
 	// most one A instance and one B instance and recycles them pair after
 	// pair.
 	pairs, err := exec.MapLocal(ctx, pool(opts, &events), opts.Replications, newInstanceCache,
 		func(_ context.Context, cache *instanceCache, r int) (pair, error) {
-			oa, err := runOne(a, seeds[r], opts, cache)
+			oa, err := runOne(a, seeds[r], false, opts, cache)
 			events.Add(oa.fired)
 			if err != nil {
 				return pair{}, err
 			}
-			ob, err := runOne(b, seeds[r], opts, cache)
+			ob, err := runOne(b, seeds[r], false, opts, cache)
 			events.Add(ob.fired)
 			if err != nil {
 				return pair{}, err
 			}
-			return pair{oa.metrics, ob.metrics}, nil
+			return pair{oa.metrics, ob.metrics, oa.draws, ob.draws}, nil
 		})
 	if err != nil {
 		return Comparison{}, err
@@ -129,6 +137,19 @@ func CompareContext(ctx context.Context, a, b cluster.Config, opts Options) (Com
 	comp.B.TotalUsefulWork = totB.CI(opts.Confidence)
 	comp.FractionDiff = fracDiff.CI(opts.Confidence)
 	comp.TotalDiff = totDiff.CI(opts.Confidence)
+	if opts.SyncReport {
+		drawsA := make([][]uint64, len(pairs))
+		drawsB := make([][]uint64, len(pairs))
+		outA := make([]float64, len(pairs))
+		outB := make([]float64, len(pairs))
+		for r, p := range pairs {
+			drawsA[r], drawsB[r] = p.drawsA, p.drawsB
+			outA[r] = p.a.UsefulWorkFraction
+			outB[r] = p.b.UsefulWorkFraction
+		}
+		rep := vr.BuildSyncReport(model.PurposeNames(), drawsA, drawsB, outA, outB)
+		comp.Sync = &rep
+	}
 	return comp, nil
 }
 
@@ -148,6 +169,10 @@ type repOut struct {
 	spanFrac  float64
 	phase     phasetrace.Budget
 	rollbacks int
+
+	// draws holds the per-purpose variate counts of the trajectory
+	// (Options.SyncReport only) — the raw material of the CRN audit.
+	draws []uint64
 }
 
 // runOne simulates one trajectory on an instance from the worker's cache
@@ -164,9 +189,16 @@ type repOut struct {
 // the journal, whose bytes are pinned identical across worker counts, and
 // whether an instance was fresh or recycled depends on how many workers
 // split the replications.
-func runOne(cfg cluster.Config, seed uint64, opts Options, cache *instanceCache) (repOut, error) {
+func runOne(cfg cluster.Config, seed uint64, reflected bool, opts Options, cache *instanceCache) (repOut, error) {
 	start := time.Now()
-	in, recycled, err := cache.instance(cfg, seed)
+	// Per-purpose sub-streams are on for the CRN audit and for antithetic
+	// pairs (both legs): with one interleaved stream the legs desynchronize
+	// at the first divergence and reflection stops pairing matching draws;
+	// purpose-split streams keep the k-th failure draw of the reflected leg
+	// the exact mirror of the plain leg's k-th, which is what makes the
+	// antithetic correlation strong.
+	crn := opts.SyncReport || opts.VarianceReduction == vr.ModeAntithetic
+	in, recycled, err := cache.instance(cfg, seed, reflected, crn)
 	if err != nil {
 		return repOut{}, err
 	}
@@ -185,6 +217,9 @@ func runOne(cfg cluster.Config, seed uint64, opts Options, cache *instanceCache)
 	}
 	m, err := in.RunSteadyState(opts.Warmup, opts.Measure)
 	out := repOut{metrics: m, fired: in.Fired(), wall: time.Since(start)}
+	if opts.SyncReport {
+		out.draws = in.DrawCounts()
+	}
 	if rec != nil {
 		t0, t1 := opts.Warmup, opts.Warmup+opts.Measure
 		tl := rec.Finish(in.Now()).SplitRework()

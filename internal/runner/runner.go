@@ -20,6 +20,7 @@ import (
 	"repro/internal/phasetrace"
 	"repro/internal/provenance"
 	"repro/internal/stats"
+	"repro/internal/vr"
 )
 
 // Options controls the estimation procedure.
@@ -64,6 +65,23 @@ type Options struct {
 	// Label, when non-empty, tags every journal record of this estimate —
 	// sweeps and experiment grids use it to identify the cell.
 	Label string
+	// VarianceReduction selects the replication-scheduling scheme.
+	// vr.ModeAntithetic runs replications as (plain, reflected) pairs
+	// sharing a seed: pair k occupies replications 2k (plain leg) and 2k+1
+	// (reflected leg, every uniform draw mirrored u → 1−u), and the
+	// estimate is formed over the pair means, whose variance the negative
+	// leg correlation shrinks. An odd Replications count is rounded up to
+	// complete the last pair. The measured efficiency is reported in
+	// Result.VR and the journal's estimate record; plain mode (the zero
+	// value) is bit-identical to pre-VR behavior.
+	VarianceReduction vr.Mode
+	// SyncReport makes Compare route every stochastic purpose through its
+	// own labelled CRN sub-stream and audit the synchronization: per-purpose
+	// draw counts per replication, the fraction of pairs that stayed on
+	// literally common variates, and the output correlation achieved
+	// (Comparison.Sync). The purpose routing changes trajectories relative
+	// to a plain Compare — it is the hardened-CRN mode, not an observer.
+	SyncReport bool
 	// VerifySpans attaches a phase-span recorder (internal/phasetrace) to
 	// every replication and cross-checks the span-derived useful-work
 	// fraction against the reward-based estimate — two independent
@@ -119,7 +137,19 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.VarianceReduction == vr.ModeAntithetic && o.Replications%2 == 1 {
+		o.Replications++ // complete the last (plain, reflected) pair
+	}
 	return o
+}
+
+// vrString maps the option mode onto the manifest spelling (blocks.VRNone
+// is the empty string so plain manifests keep their pre-VR hashes).
+func vrString(m vr.Mode) string {
+	if m == vr.ModeAntithetic {
+		return blocks.VRAntithetic
+	}
+	return blocks.VRNone
 }
 
 // Validate reports option problems (after defaulting).
@@ -150,6 +180,9 @@ type Result struct {
 	// SpanCheck reports the span-vs-reward cross-check; nil unless
 	// Options.VerifySpans was set.
 	SpanCheck *SpanCheck
+	// VR reports the measured antithetic efficiency; nil unless
+	// Options.VarianceReduction was vr.ModeAntithetic.
+	VR *vr.Report
 }
 
 // SpanCheck is the outcome of the phase-accounting self-verification: the
@@ -224,11 +257,13 @@ func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Res
 		Measure:    opts.Measure,
 		Confidence: opts.Confidence,
 		BlockSize:  opts.Replications,
+		VR:         vrString(opts.VarianceReduction),
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("runner: %w", err)
 	}
 	seeds := plan.Blocks[0].Seeds
+	antithetic := opts.VarianceReduction == vr.ModeAntithetic
 	start := time.Now()
 	var events atomic.Uint64
 	// Each worker carries one instance cache: the model is built on the
@@ -237,7 +272,11 @@ func EstimateContext(ctx context.Context, cfg cluster.Config, opts Options) (Res
 	// results).
 	outs, err := exec.MapLocal(ctx, pool(opts, &events), opts.Replications, newInstanceCache,
 		func(_ context.Context, cache *instanceCache, r int) (repOut, error) {
-			o, err := runOne(cfg, seeds[r], opts, cache)
+			// Under antithetic VR the plan duplicated each seed across a
+			// (plain, reflected) pair; the leg is the replication parity,
+			// fixed — like the seed — before dispatch, so leg assignment is
+			// invisible to worker scheduling.
+			o, err := runOne(cfg, seeds[r], antithetic && r%2 == 1, opts, cache)
 			events.Add(o.fired)
 			return o, err
 		})
@@ -305,6 +344,12 @@ func repFields(rep int, seed uint64, o repOut, opts Options) map[string]any {
 	if o.sim != nil {
 		fields["sim"] = o.sim
 	}
+	if opts.VarianceReduction == vr.ModeAntithetic {
+		// The leg is the replication parity (pairs are aligned to even
+		// global indices by the planner) — journaled so a reader can split
+		// plain from reflected legs without re-deriving the pairing.
+		fields["vr_leg"] = rep % 2
+	}
 	if opts.VerifySpans {
 		fields["span_useful_fraction"] = o.spanFrac
 		fields["span_delta"] = o.spanFrac - o.metrics.UsefulWorkFraction
@@ -329,15 +374,15 @@ func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error
 			return err
 		}
 	}
-	var acc stats.Accumulator
+	w := blocks.NewWidthTracker(opts.Confidence, vrString(opts.VarianceReduction))
 	var events uint64
 	for r, o := range outs {
-		acc.Add(o.metrics.UsefulWorkFraction)
 		events += o.fired
 		fields := repFields(r, seeds[r], o, opts)
 		// The prefix CI half-width after this replication — the raw
-		// convergence trajectory, one point per record.
-		fields["ci_half_width"] = acc.Convergence(opts.Confidence).HalfWidth
+		// convergence trajectory, one point per record (paired prefix under
+		// antithetic VR, via the same tracker the block writers use).
+		fields["ci_half_width"] = w.Add(o.metrics.UsefulWorkFraction)
 		if err := j.Record("replication", fields); err != nil {
 			return err
 		}
@@ -348,7 +393,8 @@ func writeJournal(opts Options, seeds []uint64, outs []repOut, res Result) error
 		fracs[i] = o.metrics.UsefulWorkFraction
 		totals[i] = o.metrics.TotalUsefulWork
 	}
-	fields := blocks.EstimateFields(opts.Confidence, [][]float64{fracs}, totals, events, opts.Label)
+	fields := blocks.EstimateFields(opts.Confidence, [][]float64{fracs}, totals, events, opts.Label,
+		vrString(opts.VarianceReduction))
 	if sc := res.SpanCheck; sc != nil {
 		fields["span_check"] = map[string]any{
 			"reward_mean": sc.RewardMean,
@@ -388,7 +434,24 @@ func pool(opts Options, events *atomic.Uint64) exec.Pool {
 
 // reduce folds per-replication metrics into the estimate, strictly in
 // replication order so floating-point accumulation is scheduling-independent.
+// Under antithetic VR consecutive replications form (plain, reflected)
+// pairs and the intervals are formed over the pair means, with the measured
+// variance-reduction factor reported alongside.
 func reduce(metrics []model.Metrics, opts Options) Result {
+	if opts.VarianceReduction == vr.ModeAntithetic {
+		var frac, total stats.PairedAccumulator
+		for i := 0; i+1 < len(metrics); i += 2 {
+			frac.AddPair(metrics[i].UsefulWorkFraction, metrics[i+1].UsefulWorkFraction)
+			total.AddPair(metrics[i].TotalUsefulWork, metrics[i+1].TotalUsefulWork)
+		}
+		return Result{
+			UsefulWorkFraction: frac.CI(opts.Confidence),
+			TotalUsefulWork:    total.CI(opts.Confidence),
+			PerReplication:     metrics,
+			VR: vr.NewReport(vr.ModeAntithetic, frac.Pairs(), frac.VarianceReductionFactor(),
+				frac.LegCorrelation(), frac.PairVariance(), frac.LegVariance()),
+		}
+	}
 	var frac, total stats.Accumulator
 	for _, m := range metrics {
 		frac.Add(m.UsefulWorkFraction)

@@ -352,6 +352,16 @@ func (s *Simulator) Reset() {
 	}
 }
 
+// SetSource swaps the random source future delay samples are drawn from.
+// Pending events keep the delays they were scheduled with — only draws made
+// after the call see the new source. The variance-reduction layer uses this
+// to run a reflected (antithetic) trajectory on a recycled simulator by
+// wrapping the original stream, and the importance-splitting driver uses it
+// to branch a trajectory's future randomness mid-run; call it before Reset
+// when the whole trajectory must use the new source (Reset's initial settle
+// already samples delays).
+func (s *Simulator) SetSource(src rng.Source) { s.src = src }
+
 // Now returns the current simulated time.
 func (s *Simulator) Now() float64 { return s.eng.Now() }
 

@@ -1,0 +1,225 @@
+package vr
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Trajectory is one replayable sample path as the splitting driver sees it:
+// a deterministic function of its seed history that exposes an importance
+// level (a running maximum, so crossings are monotone). model.RareTrajectory
+// adapts the checkpointing SAN; tests use toy walks.
+type Trajectory interface {
+	// Prime rewinds to t = 0 under the given root seed.
+	Prime(seed uint64)
+	// Step advances by one event; false means the path is exhausted.
+	Step() bool
+	// Now returns the current path time.
+	Now() float64
+	// Level returns the highest importance level reached so far.
+	Level() int
+	// Reseed swaps the future randomness without touching current state —
+	// the branch operation of splitting.
+	Reseed(seed uint64)
+}
+
+// SplitOptions configures a fixed-effort multilevel splitting estimate of
+// P[trajectory reaches Level before Horizon].
+type SplitOptions struct {
+	// Level is the target importance level (≥ 1).
+	Level int
+	// Effort is the number of trials per stage (≥ 2).
+	Effort int
+	// Horizon is the time budget of one trajectory.
+	Horizon float64
+	// Seed drives the driver's own randomness (root seeds, branch seeds,
+	// entrance selection). Identical options give identical estimates.
+	Seed uint64
+}
+
+// SplitResult is a fixed-effort splitting estimate.
+type SplitResult struct {
+	// Probability is the product of the per-stage crossing fractions — an
+	// unbiased estimate of the rare-event probability.
+	Probability float64 `json:"probability"`
+	// StageFractions are the per-stage conditional crossing estimates
+	// P[reach level k+1 | entered level k].
+	StageFractions []float64 `json:"stage_fractions"`
+	// Entrances is the number of successful crossings observed per stage.
+	Entrances []int `json:"entrances"`
+	// Trials is the total number of stage trials run (Effort × stages
+	// attempted).
+	Trials int `json:"trials"`
+	// Steps counts every Trajectory.Step taken, including replay work — the
+	// honest cost of the estimate.
+	Steps uint64 `json:"steps"`
+}
+
+// path is a replayable trajectory prefix: prime with root, then at each
+// recorded branch point (a total-step count) swap in the branch seed. The
+// final crossSteps is where the entrance's level crossing happened.
+type path struct {
+	root       uint64
+	branches   []branch
+	crossSteps uint64
+}
+
+type branch struct {
+	afterSteps uint64
+	seed       uint64
+}
+
+// SplitEstimate runs fixed-effort multilevel splitting on tr. Stage 0 runs
+// Effort fresh trajectories to the first level crossing; each later stage
+// picks entrance paths uniformly at random, replays them deterministically
+// to their crossing (same seeds → same path), branches the randomness with
+// a fresh seed, and continues toward the next level. The product of stage
+// fractions is returned; a stage with zero crossings short-circuits to
+// probability zero. The whole procedure is deterministic in opts.Seed.
+//
+// The trajectory's state at a crossing is reconstructed by replay rather
+// than copied: the SAN simulator has no snapshot operation, but it is
+// bit-deterministic in its seed history, which makes replay an exact (if
+// costlier) substitute — the Steps field reports that cost.
+func SplitEstimate(tr Trajectory, opts SplitOptions) (SplitResult, error) {
+	if opts.Level < 1 {
+		return SplitResult{}, fmt.Errorf("vr: split level must be >= 1, got %d", opts.Level)
+	}
+	if opts.Effort < 2 {
+		return SplitResult{}, fmt.Errorf("vr: split effort must be >= 2, got %d", opts.Effort)
+	}
+	if !(opts.Horizon > 0) {
+		return SplitResult{}, fmt.Errorf("vr: split horizon must be positive, got %v", opts.Horizon)
+	}
+	// Independent driver streams: seeds for trajectories/branches, and
+	// entrance selection. Selection must be uniform over entrances for the
+	// fixed-effort estimator to stay unbiased when Effort is not a multiple
+	// of the entrance count.
+	seedSrc := rng.New(opts.Seed ^ 0x73706c6974736565) // "splitsee"
+	selSrc := rng.New(opts.Seed ^ 0x73656c6563743031)  // "select01"
+
+	res := SplitResult{Probability: 1}
+	var entrances []path
+	for stage := 0; stage < opts.Level; stage++ {
+		target := stage + 1
+		var next []path
+		crossed := 0
+		for trial := 0; trial < opts.Effort; trial++ {
+			res.Trials++
+			var p path
+			if stage == 0 {
+				p = path{root: seedSrc.Uint64()}
+				tr.Prime(p.root)
+			} else {
+				p = entrances[selSrc.Intn(len(entrances))]
+				replaySteps := replay(tr, p)
+				res.Steps += replaySteps
+				b := branch{afterSteps: p.crossSteps, seed: seedSrc.Uint64()}
+				tr.Reseed(b.seed)
+				p = path{root: p.root, branches: appendBranch(p.branches, b), crossSteps: p.crossSteps}
+			}
+			steps, ok := runToLevel(tr, target, opts.Horizon, p.crossSteps, &res.Steps)
+			if !ok {
+				continue
+			}
+			crossed++
+			p.crossSteps = steps
+			next = append(next, p)
+		}
+		frac := float64(crossed) / float64(opts.Effort)
+		res.StageFractions = append(res.StageFractions, frac)
+		res.Entrances = append(res.Entrances, crossed)
+		res.Probability *= frac
+		if crossed == 0 {
+			res.Probability = 0
+			break
+		}
+		entrances = next
+	}
+	return res, nil
+}
+
+// appendBranch copies-and-appends so sibling trials sharing an entrance
+// never alias each other's branch history.
+func appendBranch(bs []branch, b branch) []branch {
+	out := make([]branch, len(bs)+1)
+	copy(out, bs)
+	out[len(bs)] = b
+	return out
+}
+
+// replay reconstructs the trajectory state at p's crossing: prime with the
+// root seed, step to each branch point applying its seed, then step on to
+// crossSteps. Returns the steps spent.
+func replay(tr Trajectory, p path) uint64 {
+	tr.Prime(p.root)
+	var steps uint64
+	next := 0
+	for steps < p.crossSteps {
+		for next < len(p.branches) && p.branches[next].afterSteps == steps {
+			tr.Reseed(p.branches[next].seed)
+			next++
+		}
+		if !tr.Step() {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// runToLevel advances tr until it reaches target level (success), exceeds
+// the horizon, or exhausts. from is the step count already taken (replayed);
+// the returned count is the total at the crossing. total accumulates every
+// step taken into the caller's cost counter.
+func runToLevel(tr Trajectory, target int, horizon float64, from uint64, total *uint64) (uint64, bool) {
+	steps := from
+	if tr.Level() >= target && tr.Now() <= horizon {
+		return steps, true
+	}
+	for {
+		if !tr.Step() {
+			return steps, false
+		}
+		steps++
+		*total++
+		if tr.Now() > horizon {
+			return steps, false
+		}
+		if tr.Level() >= target {
+			return steps, true
+		}
+	}
+}
+
+// BruteForce estimates the same probability by plain Monte Carlo: effort
+// independent trajectories, counting those that reach level before horizon.
+// It shares SplitEstimate's seeding discipline so the two are comparable
+// like for like, and serves as the unbiasedness pin for the splitting
+// driver.
+func BruteForce(tr Trajectory, opts SplitOptions) (SplitResult, error) {
+	if opts.Level < 1 {
+		return SplitResult{}, fmt.Errorf("vr: level must be >= 1, got %d", opts.Level)
+	}
+	if opts.Effort < 1 {
+		return SplitResult{}, fmt.Errorf("vr: effort must be >= 1, got %d", opts.Effort)
+	}
+	if !(opts.Horizon > 0) {
+		return SplitResult{}, fmt.Errorf("vr: horizon must be positive, got %v", opts.Horizon)
+	}
+	seedSrc := rng.New(opts.Seed ^ 0x73706c6974736565)
+	res := SplitResult{}
+	crossed := 0
+	for trial := 0; trial < opts.Effort; trial++ {
+		res.Trials++
+		tr.Prime(seedSrc.Uint64())
+		if _, ok := runToLevel(tr, opts.Level, opts.Horizon, 0, &res.Steps); ok {
+			crossed++
+		}
+	}
+	res.Probability = float64(crossed) / float64(opts.Effort)
+	res.StageFractions = []float64{res.Probability}
+	res.Entrances = []int{crossed}
+	return res, nil
+}
